@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Extension (paper Section 6 future work, later CoScale MICRO'12):
+ * coordinated CPU + memory DVFS.  With CPU power modelled explicitly,
+ * compares memory-only MemScale against the coordinated policy that
+ * also re-clocks the cores, under the same per-core slack bound.
+ *
+ * Expectation: on memory-bound phases the CPU mostly waits, so
+ * scaling it alongside the memory harvests additional energy within
+ * the same performance budget; compute-bound mixes keep the CPU fast.
+ */
+
+#include "bench_common.hh"
+
+using namespace memscale;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = benchConfig(argc, argv);
+    cfg.modelCpuPower = true;
+    benchHeader("Extension", "coordinated CPU+memory DVFS (CoScale)",
+                cfg);
+
+    Table t({"mix", "class", "policy", "sys saved", "mem saved",
+             "CPU energy (vs base)", "worst CPI incr"});
+    for (const char *mixname :
+         {"ILP2", "MID1", "MID2", "MID3", "MEM2"}) {
+        SystemConfig c = cfg;
+        c.mixName = mixname;
+        Watts rest = 0.0;
+        RunResult base = runBaseline(c, rest);
+        for (const char *p : {"memscale", "coscale"}) {
+            ComparisonResult r = compareWithBase(c, base, rest, p);
+            double cpu_ratio =
+                base.energy.cpu > 0.0
+                    ? r.policy.energy.cpu / base.energy.cpu
+                    : 1.0;
+            t.addRow({mixname, mixByName(mixname).klass, p,
+                      pct(r.sysEnergySavings),
+                      pct(r.memEnergySavings), pct(cpu_ratio),
+                      pct(r.worstCpiIncrease)});
+        }
+    }
+    t.print("coordinated scaling vs memory-only MemScale "
+            "(CPU power modelled explicitly)");
+    std::printf("\nexpectation: coscale matches or beats memscale on "
+                "system energy by also shrinking\nCPU energy on "
+                "memory-heavy mixes, within the same CPI bound.\n");
+    return 0;
+}

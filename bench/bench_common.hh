@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared setup for the bench binaries that regenerate the paper's
+ * tables and figures.
+ *
+ * The paper simulates 100M-instruction SimPoints per application with
+ * 5 ms epochs.  The benches default to a proportionally scaled run
+ * (5M instructions, 0.25 ms epochs, 25 us profiling) so the whole
+ * evaluation regenerates in minutes on a laptop; pass budget=…,
+ * epoch_ms=… etc. (or MEMSCALE_* env vars) for full-scale runs.
+ */
+
+#ifndef MEMSCALE_BENCH_BENCH_COMMON_HH
+#define MEMSCALE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "workload/mixes.hh"
+
+namespace memscale
+{
+
+inline SystemConfig
+benchConfig(int argc, char **argv, Config *out_conf = nullptr)
+{
+    Config conf;
+    conf.parseArgs(argc, argv);
+    SystemConfig cfg;
+    cfg.instrBudget = static_cast<std::uint64_t>(
+        conf.getInt("budget", 5'000'000));
+    cfg.epochLen = msToTick(conf.getDouble("epoch_ms", 0.25));
+    cfg.profileLen = usToTick(conf.getDouble("profile_us", 25.0));
+    cfg.gamma = conf.getDouble("gamma", 0.10);
+    cfg.numCores =
+        static_cast<std::uint32_t>(conf.getInt("cores", 16));
+    cfg.mem.numChannels =
+        static_cast<std::uint32_t>(conf.getInt("channels", 4));
+    cfg.memPowerFraction = conf.getDouble("memfrac", 0.40);
+    cfg.power.proportionality = conf.getDouble("proportionality", 0.5);
+    cfg.seed = static_cast<std::uint64_t>(conf.getInt("seed", 12345));
+    if (out_conf)
+        *out_conf = conf;
+    return cfg;
+}
+
+/** MID-average MemScale outcome for one sensitivity setting. */
+struct MidSweepPoint
+{
+    double sysSavings = 0.0;
+    double memSavings = 0.0;
+    double avgCpiIncrease = 0.0;
+    double worstCpiIncrease = 0.0;
+};
+
+inline MidSweepPoint
+runMidSweep(const SystemConfig &cfg,
+            const std::string &policy = "memscale")
+{
+    MidSweepPoint pt;
+    int n = 0;
+    for (const MixSpec &mix : allMixes()) {
+        if (mix.klass != "MID")
+            continue;
+        SystemConfig c = cfg;
+        c.mixName = mix.name;
+        ComparisonResult r = compare(c, policy);
+        pt.sysSavings += r.sysEnergySavings;
+        pt.memSavings += r.memEnergySavings;
+        pt.avgCpiIncrease += r.avgCpiIncrease;
+        pt.worstCpiIncrease =
+            std::max(pt.worstCpiIncrease, r.worstCpiIncrease);
+        ++n;
+    }
+    pt.sysSavings /= n;
+    pt.memSavings /= n;
+    pt.avgCpiIncrease /= n;
+    return pt;
+}
+
+inline void
+benchHeader(const char *id, const char *what, const SystemConfig &cfg)
+{
+    std::printf("%s: %s\n", id, what);
+    std::printf("(budget=%llu instr/app, epoch=%.2f ms, profile=%.0f "
+                "us, gamma=%.0f%%, %u cores, %u channels)\n",
+                static_cast<unsigned long long>(cfg.instrBudget),
+                tickToMs(cfg.epochLen),
+                tickToUs(cfg.profileLen), cfg.gamma * 100.0,
+                cfg.numCores, cfg.mem.numChannels);
+}
+
+} // namespace memscale
+
+#endif // MEMSCALE_BENCH_BENCH_COMMON_HH

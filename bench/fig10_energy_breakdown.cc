@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 10 reproduction: MID-average system energy breakdown (DRAM,
+ * PLL/Reg, MC, rest-of-system) per policy, normalized to the baseline.
+ *
+ * Paper reference: MemScale cuts DRAM, PLL/Reg *and* MC energy;
+ * Decoupled only cuts DRAM energy; Slow-PD inflates rest-of-system
+ * energy through its slowdown.
+ */
+
+#include "bench_common.hh"
+
+using namespace memscale;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = benchConfig(argc, argv);
+    benchHeader("Figure 10", "system energy breakdown by policy (MID)",
+                cfg);
+
+    const std::vector<std::string> policies = {
+        "baseline", "fastpd", "slowpd", "decoupled", "static",
+        "memscale-memenergy", "memscale", "memscale-fastpd"};
+
+    std::vector<std::pair<RunResult, Watts>> bases;
+    std::vector<SystemConfig> cfgs;
+    double base_total = 0.0;
+    for (const MixSpec &mix : allMixes()) {
+        if (mix.klass != "MID")
+            continue;
+        SystemConfig c = cfg;
+        c.mixName = mix.name;
+        Watts rest = 0.0;
+        RunResult base = runBaseline(c, rest);
+        base_total += base.energy.total();
+        bases.emplace_back(std::move(base), rest);
+        cfgs.push_back(c);
+    }
+
+    Table t({"policy", "DRAM", "PLL/Reg", "MC", "rest of system",
+             "total (vs base)"});
+    for (const std::string &p : policies) {
+        EnergyBreakdown sum;
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            if (p == "baseline") {
+                sum += bases[i].first.energy;
+            } else {
+                ComparisonResult r = compareWithBase(
+                    cfgs[i], bases[i].first, bases[i].second, p);
+                sum += r.policy.energy;
+            }
+        }
+        t.addRow({p, pct(sum.dram() / base_total),
+                  pct(sum.pllReg / base_total),
+                  pct(sum.mc / base_total),
+                  pct(sum.rest / base_total),
+                  pct(sum.total() / base_total)});
+    }
+    t.print("Fig. 10: energy split, normalized to baseline total");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 11 reproduction: MID-average and worst-program CPI overhead
+ * per policy.
+ *
+ * Paper reference: MemScale variants stay under the 10% bound (the
+ * MemEnergy variant may exceed it slightly); Slow-PD reaches ~15%.
+ */
+
+#include "bench_common.hh"
+
+using namespace memscale;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = benchConfig(argc, argv);
+    benchHeader("Figure 11", "CPI overhead by policy (MID)", cfg);
+
+    const std::vector<std::string> policies = {
+        "fastpd", "slowpd", "decoupled", "static",
+        "memscale-memenergy", "memscale", "memscale-fastpd"};
+
+    std::vector<std::pair<RunResult, Watts>> bases;
+    std::vector<SystemConfig> cfgs;
+    for (const MixSpec &mix : allMixes()) {
+        if (mix.klass != "MID")
+            continue;
+        SystemConfig c = cfg;
+        c.mixName = mix.name;
+        Watts rest = 0.0;
+        RunResult base = runBaseline(c, rest);
+        bases.emplace_back(std::move(base), rest);
+        cfgs.push_back(c);
+    }
+
+    Table t({"policy", "avg CPI increase", "worst CPI increase",
+             "bound"});
+    for (const std::string &p : policies) {
+        double avg = 0.0, worst = 0.0;
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            ComparisonResult r = compareWithBase(
+                cfgs[i], bases[i].first, bases[i].second, p);
+            avg += r.avgCpiIncrease;
+            worst = std::max(worst, r.worstCpiIncrease);
+        }
+        t.addRow({p, pct(avg / cfgs.size()), pct(worst),
+                  pct(cfg.gamma)});
+    }
+    t.print("Fig. 11: CPI overhead by policy");
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 12 reproduction: impact of the maximum allowed CPI
+ * degradation (1%, 5%, 10%, 15%) on MID-average system energy savings
+ * and worst-case CPI increase.
+ *
+ * Paper reference: savings grow from 1% to 10% bounds, then saturate —
+ * beyond a point, running longer costs more system energy than the
+ * memory saves, so the policy stops scaling down.
+ */
+
+#include "bench_common.hh"
+
+using namespace memscale;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = benchConfig(argc, argv);
+    benchHeader("Figure 12", "sensitivity to the CPI bound (MID)", cfg);
+
+    Table t({"bound", "sys energy saved", "mem energy saved",
+             "worst CPI increase"});
+    for (double bound : {0.01, 0.05, 0.10, 0.15}) {
+        SystemConfig c = cfg;
+        c.gamma = bound;
+        MidSweepPoint pt = runMidSweep(c);
+        t.addRow({pct(bound, 0), pct(pt.sysSavings),
+                  pct(pt.memSavings), pct(pt.worstCpiIncrease)});
+    }
+    t.print("Fig. 12: CPI-bound sensitivity (paper: savings saturate "
+            "beyond 10%)");
+    return 0;
+}

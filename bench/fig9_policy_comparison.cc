@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 9 reproduction: full-system and memory energy savings of all
+ * policies — Fast-PD, Slow-PD, Decoupled DIMMs, Static, MemScale,
+ * MemScale(MemEnergy), MemScale+Fast-PD — averaged over the MID mixes.
+ *
+ * Paper reference: MemScale ~3x the system savings of Decoupled;
+ * Slow-PD loses energy; Static between Decoupled and MemScale.
+ */
+
+#include "bench_common.hh"
+
+using namespace memscale;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = benchConfig(argc, argv);
+    benchHeader("Figure 9", "policy comparison, MID average", cfg);
+
+    const std::vector<std::string> policies = {
+        "fastpd", "slowpd", "decoupled", "static",
+        "memscale-memenergy", "memscale", "memscale-fastpd"};
+
+    // Calibrated baselines per MID mix, shared across policies.
+    std::vector<std::pair<RunResult, Watts>> bases;
+    std::vector<SystemConfig> cfgs;
+    for (const MixSpec &mix : allMixes()) {
+        if (mix.klass != "MID")
+            continue;
+        SystemConfig c = cfg;
+        c.mixName = mix.name;
+        Watts rest = 0.0;
+        RunResult base = runBaseline(c, rest);
+        bases.emplace_back(std::move(base), rest);
+        cfgs.push_back(c);
+    }
+
+    Table t({"policy", "sys energy saved", "mem energy saved",
+             "avg CPI incr", "worst CPI incr"});
+    for (const std::string &p : policies) {
+        double sys = 0.0, mem = 0.0, avg = 0.0, worst = 0.0;
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            ComparisonResult r = compareWithBase(
+                cfgs[i], bases[i].first, bases[i].second, p);
+            sys += r.sysEnergySavings;
+            mem += r.memEnergySavings;
+            avg += r.avgCpiIncrease;
+            worst = std::max(worst, r.worstCpiIncrease);
+        }
+        double n = static_cast<double>(cfgs.size());
+        t.addRow({p, pct(sys / n), pct(mem / n), pct(avg / n),
+                  pct(worst)});
+    }
+    t.print("Fig. 9: MID-average energy savings by policy "
+            "(paper: MemScale ~3x Decoupled; Slow-PD negative)");
+    return 0;
+}

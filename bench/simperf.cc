@@ -1,0 +1,79 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: event
+ * kernel throughput, DRAM channel request throughput, and end-to-end
+ * simulated-instructions-per-second, so regressions in simulation
+ * speed are caught alongside the figure reproductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/core.hh"
+#include "harness/system.hh"
+#include "mem/controller.hh"
+#include "memscale/policies/policy.hh"
+#include "sim/event_queue.hh"
+#include "workload/mixes.hh"
+#include "workload/trace_source.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 10000; ++i)
+            eq.schedule(static_cast<Tick>(i * 7 % 9973),
+                        [&fired] { ++fired; });
+        eq.runUntil();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_ChannelRequests(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        MemConfig cfg;
+        MemoryController mc(eq, cfg);
+        std::uint64_t done = 0;
+        for (int i = 0; i < 5000; ++i) {
+            mc.read(static_cast<Addr>(i) * 64 * 97, 0,
+                    [&done](Tick) { ++done; });
+        }
+        eq.runUntil();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_ChannelRequests);
+
+void
+BM_FullSystem(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.mixName = "MID1";
+        cfg.instrBudget = 100000;
+        cfg.epochLen = msToTick(0.25);
+        cfg.profileLen = usToTick(25.0);
+        auto policy = makePolicy("memscale");
+        System sys(cfg, *policy);
+        RunResult r = sys.run();
+        benchmark::DoNotOptimize(r.runtime);
+    }
+    state.SetItemsProcessed(state.iterations() * 100000 * 16);
+}
+BENCHMARK(BM_FullSystem);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 1 reproduction: measured RPKI/WPKI of the synthetic workload
+ * mixes next to the paper's reference values, plus the application
+ * composition of each mix.
+ */
+
+#include "bench_common.hh"
+
+using namespace memscale;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = benchConfig(argc, argv);
+    benchHeader("Table 1", "workload mixes: measured vs paper RPKI/WPKI",
+                cfg);
+
+    Table t({"mix", "class", "RPKI paper", "RPKI meas", "WPKI paper",
+             "WPKI meas", "applications (x4 each)"});
+    Watts rest = 0.0;
+    for (const MixSpec &mix : allMixes()) {
+        SystemConfig c = cfg;
+        c.mixName = mix.name;
+        RunResult base = runBaseline(c, rest);
+        std::string apps;
+        for (const auto &a : mix.apps)
+            apps += a + " ";
+        t.addRow({mix.name, mix.klass, fmt(mix.paperRpki),
+                  fmt(base.measuredRpki), fmt(mix.paperWpki),
+                  fmt(base.measuredWpki), apps});
+    }
+    t.print("Table 1: workload characteristics");
+    return 0;
+}

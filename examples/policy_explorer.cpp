@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Policy explorer: compare every registered energy-management policy
+ * on one workload mix and print the savings/performance frontier.
+ *
+ * Usage: policy_explorer [mix=MID3] [budget=3000000] [gamma=0.10]
+ *                        [channels=4] [cores=16]
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace memscale;
+
+int
+main(int argc, char **argv)
+{
+    Config conf;
+    conf.parseArgs(argc, argv);
+
+    SystemConfig cfg;
+    cfg.mixName = conf.getString("mix", "MID3");
+    cfg.instrBudget =
+        static_cast<std::uint64_t>(conf.getInt("budget", 3'000'000));
+    cfg.gamma = conf.getDouble("gamma", 0.10);
+    cfg.epochLen = msToTick(conf.getDouble("epoch_ms", 0.25));
+    cfg.profileLen = usToTick(conf.getDouble("profile_us", 25.0));
+    cfg.numCores =
+        static_cast<std::uint32_t>(conf.getInt("cores", 16));
+    cfg.mem.numChannels =
+        static_cast<std::uint32_t>(conf.getInt("channels", 4));
+    // CPU power modelled explicitly so the coordinated-DVFS policy
+    // (coscale) competes on equal accounting.
+    cfg.modelCpuPower = true;
+
+    std::printf("Comparing all policies on %s (gamma=%.0f%%)\n",
+                cfg.mixName.c_str(), cfg.gamma * 100.0);
+
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    std::printf("baseline: %.2f ms, %.2f W system "
+                "(rest-of-system calibrated to %.1f W)\n",
+                tickToMs(base.runtime), base.avgSystemPower, rest);
+
+    Table t({"policy", "sys saved", "mem saved", "avg CPI incr",
+             "worst CPI incr", "runtime (ms)"});
+    for (const std::string &name : policyNames()) {
+        if (name == "baseline")
+            continue;
+        ComparisonResult r = compareWithBase(cfg, base, rest, name);
+        t.addRow({name, pct(r.sysEnergySavings),
+                  pct(r.memEnergySavings), pct(r.avgCpiIncrease),
+                  pct(r.worstCpiIncrease),
+                  fmt(tickToMs(r.policy.runtime))});
+    }
+    t.print("policy frontier");
+    return 0;
+}

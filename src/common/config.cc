@@ -1,0 +1,98 @@
+#include "common/config.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *eq = std::strchr(argv[i], '=');
+        if (!eq || eq == argv[i])
+            continue;
+        values_[std::string(argv[i], eq - argv[i])] =
+            std::string(eq + 1);
+    }
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+const char *
+Config::envLookup(const std::string &key) const
+{
+    std::string env = "MEMSCALE_";
+    for (char c : key)
+        env += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return std::getenv(env.c_str());
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0 || envLookup(key) != nullptr;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    if (it != values_.end())
+        return it->second;
+    if (const char *env = envLookup(key))
+        return env;
+    return def;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    std::string s = getString(key, "");
+    if (s.empty())
+        return def;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(s.c_str(), &end, 0);
+    if (end == s.c_str() || *end != '\0')
+        fatal("config: key '%s' has non-integer value '%s'",
+              key.c_str(), s.c_str());
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    std::string s = getString(key, "");
+    if (s.empty())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        fatal("config: key '%s' has non-numeric value '%s'",
+              key.c_str(), s.c_str());
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    std::string s = getString(key, "");
+    if (s.empty())
+        return def;
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off")
+        return false;
+    fatal("config: key '%s' has non-boolean value '%s'",
+          key.c_str(), s.c_str());
+}
+
+} // namespace memscale

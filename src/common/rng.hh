@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Simulation results must be reproducible bit-for-bit across runs, so
+ * every stochastic component owns its own Rng seeded from the
+ * experiment seed; nothing draws from a shared global stream.
+ */
+
+#ifndef MEMSCALE_COMMON_RNG_HH
+#define MEMSCALE_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace memscale
+{
+
+/**
+ * xoshiro256** PRNG.  Fast, high quality, and trivially seedable from a
+ * single 64-bit value via splitmix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the four state words.
+        std::uint64_t z = seed;
+        for (auto &word : state_) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t s = z;
+            s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ull;
+            s = (s ^ (s >> 27)) * 0x94d049bb133111ebull;
+            word = s ^ (s >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /**
+     * Geometric number of trials until first success (>= 1) with
+     * success probability p.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 1;
+        if (p <= 0.0)
+            return 1;
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return static_cast<std::uint64_t>(
+                   std::ceil(std::log(u) / std::log(1.0 - p)));
+    }
+
+    /** Derive an independent child stream (for per-core generators). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xa5a5a5a5deadbeefull);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_COMMON_RNG_HH

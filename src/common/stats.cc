@@ -1,0 +1,80 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t nbuckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(nbuckets)),
+      buckets_(nbuckets, 0)
+{
+    if (!(hi > lo) || nbuckets == 0)
+        fatal("Histogram: invalid range [%g, %g) with %zu buckets",
+              lo, hi, nbuckets);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        idx = std::min(idx, buckets_.size() - 1);
+        ++buckets_[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return lo_;
+    auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(total_));
+    std::uint64_t seen = underflow_;
+    if (seen >= target)
+        return lo_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return lo_ + width_ * static_cast<double>(i + 1);
+    }
+    return hi_;
+}
+
+std::string
+Histogram::summary() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu p50=%.3g p95=%.3g p99=%.3g over=%llu",
+                  static_cast<unsigned long long>(total_),
+                  percentile(0.50), percentile(0.95), percentile(0.99),
+                  static_cast<unsigned long long>(overflow_));
+    return buf;
+}
+
+} // namespace memscale

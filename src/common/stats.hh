@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lightweight statistics primitives used across the simulator.
+ */
+
+#ifndef MEMSCALE_COMMON_STATS_HH
+#define MEMSCALE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace memscale
+{
+
+/**
+ * Streaming scalar accumulator: count, sum, mean, min, max, and
+ * variance via Welford's algorithm.
+ */
+class Accumulator
+{
+  public:
+    void
+    add(double x)
+    {
+        ++count_;
+        sum_ += x;
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+    }
+
+    void
+    reset()
+    {
+        *this = Accumulator();
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width linear histogram with saturating overflow/underflow
+ * buckets.
+ */
+class Histogram
+{
+  public:
+    /** Buckets span [lo, hi) divided into nbuckets equal cells. */
+    Histogram(double lo, double hi, std::size_t nbuckets);
+
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return total_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Value below which the given fraction of samples fall. */
+    double percentile(double p) const;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_COMMON_STATS_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Interface between cores and workload trace generators.
+ *
+ * The paper's methodology collects LLC miss/writeback traces with M5
+ * and replays them in a detailed memory simulator; a core consumes a
+ * stream of "chunks": a run of non-missing instructions followed by
+ * one LLC miss (optionally accompanied by a writeback of a victim
+ * line).
+ */
+
+#ifndef MEMSCALE_CPU_TRACE_HH
+#define MEMSCALE_CPU_TRACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace memscale
+{
+
+/** One inter-miss execution segment. */
+struct TraceChunk
+{
+    std::uint64_t instructions = 0;  ///< instructions before the miss
+    double cpi = 1.0;                ///< non-memory CPI of the segment
+    Addr missAddr = 0;               ///< LLC miss (read) address
+    bool hasWriteback = false;
+    Addr writebackAddr = 0;
+};
+
+/** Producer of TraceChunks for one core. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next chunk.
+     * @retval false when the stream is exhausted (the core halts).
+     */
+    virtual bool next(TraceChunk &chunk) = 0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_CPU_TRACE_HH

@@ -1,0 +1,3 @@
+// Bank is header-only state; this translation unit anchors the class
+// for the ms_dram library and hosts nothing else on purpose.
+#include "dram/bank.hh"

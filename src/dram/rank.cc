@@ -1,0 +1,206 @@
+#include "dram/rank.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+RankActivity
+RankActivity::operator-(const RankActivity &o) const
+{
+    RankActivity r;
+    r.preStandbyTime = preStandbyTime - o.preStandbyTime;
+    r.prePowerdownTime = prePowerdownTime - o.prePowerdownTime;
+    r.slowPowerdownTime = slowPowerdownTime - o.slowPowerdownTime;
+    r.selfRefreshTime = selfRefreshTime - o.selfRefreshTime;
+    r.actStandbyTime = actStandbyTime - o.actStandbyTime;
+    r.actPowerdownTime = actPowerdownTime - o.actPowerdownTime;
+    r.totalTime = totalTime - o.totalTime;
+    r.actPreCount = actPreCount - o.actPreCount;
+    r.readBursts = readBursts - o.readBursts;
+    r.writeBursts = writeBursts - o.writeBursts;
+    r.readBurstTime = readBurstTime - o.readBurstTime;
+    r.writeBurstTime = writeBurstTime - o.writeBurstTime;
+    r.refreshes = refreshes - o.refreshes;
+    r.pdExits = pdExits - o.pdExits;
+    return r;
+}
+
+RankActivity &
+RankActivity::operator+=(const RankActivity &o)
+{
+    preStandbyTime += o.preStandbyTime;
+    prePowerdownTime += o.prePowerdownTime;
+    slowPowerdownTime += o.slowPowerdownTime;
+    selfRefreshTime += o.selfRefreshTime;
+    actStandbyTime += o.actStandbyTime;
+    actPowerdownTime += o.actPowerdownTime;
+    totalTime += o.totalTime;
+    actPreCount += o.actPreCount;
+    readBursts += o.readBursts;
+    writeBursts += o.writeBursts;
+    readBurstTime += o.readBurstTime;
+    writeBurstTime += o.writeBurstTime;
+    refreshes += o.refreshes;
+    pdExits += o.pdExits;
+    return *this;
+}
+
+double
+RankActivity::preFraction() const
+{
+    if (totalTime == 0)
+        return 1.0;
+    return static_cast<double>(preStandbyTime + prePowerdownTime) /
+           static_cast<double>(totalTime);
+}
+
+double
+RankActivity::prePowerdownFraction() const
+{
+    if (totalTime == 0)
+        return 0.0;
+    return static_cast<double>(prePowerdownTime) /
+           static_cast<double>(totalTime);
+}
+
+double
+RankActivity::actPowerdownFraction() const
+{
+    if (totalTime == 0)
+        return 0.0;
+    return static_cast<double>(actPowerdownTime) /
+           static_cast<double>(totalTime);
+}
+
+void
+Rank::sync(Tick now)
+{
+    if (now < lastUpdate_)
+        panic("Rank accounting timestamp regressed (%llu < %llu)",
+              static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(lastUpdate_));
+    Tick dt = now - lastUpdate_;
+    lastUpdate_ = now;
+    if (dt == 0)
+        return;
+    activity_.totalTime += dt;
+    if (openBanks_ == 0) {
+        if (ckeLow_) {
+            activity_.prePowerdownTime += dt;
+            if (selfRefresh_)
+                activity_.selfRefreshTime += dt;
+            else if (slowExit_)
+                activity_.slowPowerdownTime += dt;
+        } else {
+            activity_.preStandbyTime += dt;
+        }
+    } else {
+        if (ckeLow_)
+            activity_.actPowerdownTime += dt;
+        else
+            activity_.actStandbyTime += dt;
+    }
+}
+
+void
+Rank::bankOpened(Tick at)
+{
+    sync(at);
+    ++openBanks_;
+}
+
+void
+Rank::bankClosed(Tick at)
+{
+    if (openBanks_ == 0)
+        panic("Rank: bankClosed with no open banks");
+    sync(at);
+    --openBanks_;
+}
+
+void
+Rank::setPowerdown(Tick at, bool low, bool slow_exit,
+                   bool self_refresh)
+{
+    if (low == ckeLow_ &&
+        (!low || (slow_exit == slowExit_ &&
+                  self_refresh == selfRefresh_)))
+        return;
+    sync(at);
+    if (ckeLow_ && !low)
+        ++activity_.pdExits;
+    ckeLow_ = low;
+    slowExit_ = low && slow_exit;
+    selfRefresh_ = low && self_refresh;
+}
+
+void
+Rank::noteBurst(bool is_write, Tick duration)
+{
+    if (is_write) {
+        ++activity_.writeBursts;
+        activity_.writeBurstTime += duration;
+    } else {
+        ++activity_.readBursts;
+        activity_.readBurstTime += duration;
+    }
+}
+
+Tick
+Rank::earliestAct(Tick t, const TimingParams &tp) const
+{
+    Tick earliest = t;
+    if (numRecentActs_ > 0) {
+        // tRRD from the latest recorded ACT.
+        Tick latest = recentActs_[numRecentActs_ - 1];
+        if (latest + tp.tRRD > earliest)
+            earliest = latest + tp.tRRD;
+    }
+    if (numRecentActs_ >= 4) {
+        // tFAW: at most 4 ACTs within any tFAW window; the new ACT
+        // must wait until the 4th-most-recent ACT ages out.
+        Tick fourth = recentActs_[numRecentActs_ - 4];
+        if (fourth + tp.tFAW > earliest)
+            earliest = fourth + tp.tFAW;
+    }
+    return earliest;
+}
+
+void
+Rank::recordAct(Tick when)
+{
+    // Keep the window sorted; planning may insert slightly out of
+    // wall-clock order across banks.
+    if (numRecentActs_ == recentActs_.size()) {
+        std::copy(recentActs_.begin() + 1, recentActs_.end(),
+                  recentActs_.begin());
+        --numRecentActs_;
+    }
+    recentActs_[numRecentActs_++] = when;
+    std::sort(recentActs_.begin(), recentActs_.begin() + numRecentActs_);
+}
+
+const RankActivity &
+Rank::sample(Tick now)
+{
+    sync(now);
+    return activity_;
+}
+
+void
+Rank::reset()
+{
+    activity_ = RankActivity();
+    lastUpdate_ = 0;
+    openBanks_ = 0;
+    ckeLow_ = false;
+    slowExit_ = false;
+    selfRefresh_ = false;
+    recentActs_ = {};
+    numRecentActs_ = 0;
+}
+
+} // namespace memscale

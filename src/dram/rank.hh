@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-rank DRAM state: CKE/background-state time integration (the
+ * source of the PTC/PTCKEL/ATCKEL/POCC counters and the Micron power
+ * model inputs), activate-window constraints (tRRD/tFAW), and refresh
+ * bookkeeping.
+ *
+ * The rank integrates time-in-state between explicit, monotonically
+ * non-decreasing update timestamps supplied by the channel's
+ * accounting events.
+ */
+
+#ifndef MEMSCALE_DRAM_RANK_HH
+#define MEMSCALE_DRAM_RANK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace memscale
+{
+
+/**
+ * Accumulated activity of one rank over an integration window.
+ * Differences of two snapshots describe the activity within an epoch;
+ * the power model consumes exactly this struct.
+ */
+struct RankActivity
+{
+    Tick preStandbyTime = 0;   ///< all banks precharged, CKE high
+    Tick prePowerdownTime = 0; ///< all banks precharged, CKE low
+    Tick slowPowerdownTime = 0; ///< subset of prePowerdownTime, DLL off
+    /**
+     * Subset of prePowerdownTime spent in self-refresh (deepest
+     * state: lowest current, no external refresh needed, tXS exit).
+     */
+    Tick selfRefreshTime = 0;
+    Tick actStandbyTime = 0;   ///< >=1 bank open, CKE high
+    Tick actPowerdownTime = 0; ///< >=1 bank open, CKE low
+    Tick totalTime = 0;        ///< window length
+
+    std::uint64_t actPreCount = 0;   ///< POCC: open/close command pairs
+    std::uint64_t readBursts = 0;
+    std::uint64_t writeBursts = 0;
+    Tick readBurstTime = 0;
+    Tick writeBurstTime = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t pdExits = 0;       ///< EPDC
+
+    RankActivity operator-(const RankActivity &o) const;
+    RankActivity &operator+=(const RankActivity &o);
+
+    /** Fraction of the window with all banks precharged (counter PTC). */
+    double preFraction() const;
+    /** Fraction of the window in precharge powerdown (PTCKEL). */
+    double prePowerdownFraction() const;
+    /** Fraction of the window in active powerdown (ATCKEL). */
+    double actPowerdownFraction() const;
+};
+
+class Rank
+{
+  public:
+    Rank() = default;
+
+    /** @name State-change notifications (timestamps must not regress). */
+    /// @{
+    void bankOpened(Tick at);
+    void bankClosed(Tick at);
+
+    /**
+     * CKE transition.  Entering powerdown with slow_exit selects the
+     * DLL-off (slow-exit) state; self_refresh selects the deepest
+     * state.  Exits count toward EPDC.
+     */
+    void setPowerdown(Tick at, bool low, bool slow_exit = false,
+                      bool self_refresh = false);
+
+    void noteActPre() { ++activity_.actPreCount; }
+    void noteBurst(bool is_write, Tick duration);
+    void noteRefresh() { ++activity_.refreshes; }
+    /// @}
+
+    /** @name Activate-window constraints. */
+    /// @{
+    /**
+     * Earliest tick >= t at which a new ACT may issue given tRRD and
+     * tFAW.  Does not record the ACT.
+     */
+    Tick earliestAct(Tick t, const TimingParams &tp) const;
+
+    /** Record an ACT (possibly out of wall-clock order across banks). */
+    void recordAct(Tick when);
+    /// @}
+
+    /** Flush integration up to `now` and return cumulative activity. */
+    const RankActivity &sample(Tick now);
+
+    bool powerdown() const { return ckeLow_; }
+    bool slowPowerdown() const { return ckeLow_ && slowExit_; }
+    bool selfRefresh() const { return ckeLow_ && selfRefresh_; }
+    std::uint32_t openBanks() const { return openBanks_; }
+
+    /** Reset all state (used between experiment runs). */
+    void reset();
+
+  private:
+    void sync(Tick now);
+
+    RankActivity activity_;
+    Tick lastUpdate_ = 0;
+    std::uint32_t openBanks_ = 0;
+    bool ckeLow_ = false;
+    bool slowExit_ = false;
+    bool selfRefresh_ = false;
+
+    /**
+     * Recent ACT issue times kept sorted ascending; enough history for
+     * tFAW (4) plus slack for out-of-order planning inserts.
+     */
+    std::array<Tick, 8> recentActs_ = {};
+    std::uint32_t numRecentActs_ = 0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_DRAM_RANK_HH

@@ -1,0 +1,124 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace memscale
+{
+
+RunResult
+runBaseline(const SystemConfig &cfg, Watts &rest_out)
+{
+    SystemConfig base_cfg = cfg;
+    base_cfg.restWatts = 0.0;
+    auto policy = makePolicy("baseline");
+    System sys(base_cfg, *policy);
+    RunResult base = sys.run();
+
+    // Memory subsystem = fraction of server power at the baseline
+    // (paper Section 4.1, default 40%); the remainder is a fixed
+    // rest-of-system draw.
+    double frac = cfg.memPowerFraction;
+    if (frac <= 0.0 || frac >= 1.0)
+        fatal("memPowerFraction must be in (0,1), got %g", frac);
+    rest_out = base.avgMemPower * (1.0 / frac - 1.0);
+    if (cfg.modelCpuPower) {
+        // Explicitly-modelled CPU power comes out of the fixed
+        // rest-of-system draw so the server total is unchanged.
+        double cpu_w = base.energy.cpu / tickToSec(base.runtime);
+        rest_out = std::max(0.0, rest_out - cpu_w);
+    }
+    base.energy.rest = rest_out * tickToSec(base.runtime);
+    base.avgSystemPower =
+        base.energy.total() / tickToSec(base.runtime);
+    return base;
+}
+
+RunResult
+runPolicy(const SystemConfig &cfg, const std::string &policy,
+          Watts rest_watts)
+{
+    SystemConfig pcfg = cfg;
+    pcfg.restWatts = rest_watts;
+    auto p = makePolicy(policy);
+    System sys(pcfg, *p);
+    return sys.run();
+}
+
+ComparisonResult
+compareWithBase(const SystemConfig &cfg, const RunResult &base,
+                Watts rest_watts, const std::string &policy)
+{
+    ComparisonResult out;
+    out.base = base;
+    out.policy = runPolicy(cfg, policy, rest_watts);
+
+    double base_mem = base.energy.memorySubsystem();
+    double base_sys = base.energy.total();
+    if (base_mem > 0.0) {
+        out.memEnergySavings =
+            1.0 - out.policy.energy.memorySubsystem() / base_mem;
+    }
+    if (base_sys > 0.0) {
+        out.sysEnergySavings =
+            1.0 - out.policy.energy.total() / base_sys;
+    }
+
+    out.cpiIncrease.resize(base.coreCpi.size(), 0.0);
+    for (std::size_t i = 0; i < base.coreCpi.size(); ++i) {
+        if (base.coreCpi[i] > 0.0) {
+            out.cpiIncrease[i] =
+                out.policy.coreCpi[i] / base.coreCpi[i] - 1.0;
+        }
+    }
+    double sum = 0.0;
+    double worst = 0.0;
+    for (double d : out.cpiIncrease) {
+        sum += d;
+        worst = std::max(worst, d);
+    }
+    out.avgCpiIncrease =
+        out.cpiIncrease.empty()
+            ? 0.0
+            : sum / static_cast<double>(out.cpiIncrease.size());
+    out.worstCpiIncrease = worst;
+    return out;
+}
+
+ComparisonResult
+compare(const SystemConfig &cfg, const std::string &policy)
+{
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    return compareWithBase(cfg, base, rest, policy);
+}
+
+AveragedComparison
+compareAveraged(const SystemConfig &cfg, const std::string &policy,
+                std::size_t seeds)
+{
+    if (seeds == 0)
+        fatal("compareAveraged: need at least one seed");
+    Accumulator mem, sys, worst;
+    for (std::size_t i = 0; i < seeds; ++i) {
+        SystemConfig c = cfg;
+        c.seed = cfg.seed + i * 7919;
+        ComparisonResult r = compare(c, policy);
+        mem.add(r.memEnergySavings);
+        sys.add(r.sysEnergySavings);
+        worst.add(r.worstCpiIncrease);
+    }
+    auto summarize = [](const Accumulator &a) {
+        return SeededMetric{a.mean(), a.stddev(), a.min(), a.max()};
+    };
+    AveragedComparison out;
+    out.memEnergySavings = summarize(mem);
+    out.sysEnergySavings = summarize(sys);
+    out.worstCpiIncrease = summarize(worst);
+    out.seeds = seeds;
+    return out;
+}
+
+} // namespace memscale

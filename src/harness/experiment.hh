@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment driver: baseline calibration (rest-of-system wattage per
+ * paper Section 4.1), baseline-vs-policy comparisons, and the savings
+ * metrics every figure reports.
+ */
+
+#ifndef MEMSCALE_HARNESS_EXPERIMENT_HH
+#define MEMSCALE_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/system.hh"
+
+namespace memscale
+{
+
+/** Baseline-relative outcome of one policy on one mix. */
+struct ComparisonResult
+{
+    RunResult base;
+    RunResult policy;
+    double memEnergySavings = 0.0;   ///< 1 - E_mem/E_mem_base
+    double sysEnergySavings = 0.0;   ///< 1 - E_sys/E_sys_base
+    std::vector<double> cpiIncrease; ///< per core, fractional
+    double avgCpiIncrease = 0.0;
+    double worstCpiIncrease = 0.0;
+};
+
+/**
+ * Run the reference (max-frequency, no-powerdown) configuration and
+ * return it with the rest-of-system energy patched in so the memory
+ * subsystem accounts for cfg.memPowerFraction of server power.
+ * @param rest_out receives the calibrated wattage.
+ */
+RunResult runBaseline(const SystemConfig &cfg, Watts &rest_out);
+
+/** Run one named policy with a known rest-of-system wattage. */
+RunResult runPolicy(const SystemConfig &cfg, const std::string &policy,
+                    Watts rest_watts);
+
+/** Compare a policy against a precomputed calibrated baseline. */
+ComparisonResult compareWithBase(const SystemConfig &cfg,
+                                 const RunResult &base,
+                                 Watts rest_watts,
+                                 const std::string &policy);
+
+/** Baseline + policy in one call. */
+ComparisonResult compare(const SystemConfig &cfg,
+                         const std::string &policy);
+
+/** Mean and spread of a metric over repeated seeds. */
+struct SeededMetric
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Multi-seed comparison summary (workload-generation variance). */
+struct AveragedComparison
+{
+    SeededMetric memEnergySavings;
+    SeededMetric sysEnergySavings;
+    SeededMetric worstCpiIncrease;
+    std::size_t seeds = 0;
+};
+
+/**
+ * Repeat compare() over `seeds` derived seeds and summarize.  Useful
+ * for judging whether an effect exceeds synthetic-workload noise.
+ */
+AveragedComparison compareAveraged(const SystemConfig &cfg,
+                                   const std::string &policy,
+                                   std::size_t seeds);
+
+} // namespace memscale
+
+#endif // MEMSCALE_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table rendering for the bench binaries, so every figure
+ * and table of the paper prints as aligned rows/series.
+ */
+
+#ifndef MEMSCALE_HARNESS_REPORT_HH
+#define MEMSCALE_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "power/system_power.hh"
+
+namespace memscale
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Render with aligned columns to stdout.  If the environment
+     * variable MEMSCALE_CSV_DIR is set, the table is also written as
+     * <dir>/<slugified-title>.csv for plotting.
+     */
+    void print(const std::string &title = "") const;
+
+    /** Serialize as RFC-4180-ish CSV. */
+    std::string toCsv() const;
+
+    /** Write CSV to an explicit path. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers. */
+std::string fmt(double v, int precision = 2);
+std::string pct(double fraction, int precision = 1);
+std::string joules(double j);
+
+/** Energy breakdown as normalized shares (for Figs. 2 and 10). */
+std::vector<std::string> breakdownShares(const EnergyBreakdown &e,
+                                         double denom);
+
+} // namespace memscale
+
+#endif // MEMSCALE_HARNESS_REPORT_HH

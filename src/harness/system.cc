@@ -1,0 +1,211 @@
+#include "harness/system.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hh"
+#include "cpu/core.hh"
+#include "mem/controller.hh"
+#include "sim/event_queue.hh"
+#include "workload/mixes.hh"
+#include "workload/trace_source.hh"
+
+namespace memscale
+{
+
+PolicyContext
+SystemConfig::policyContext() const
+{
+    PolicyContext ctx;
+    ctx.power = power;
+    ctx.mem = mem;
+    ctx.restWatts = restWatts;
+    ctx.gamma = gamma;
+    ctx.cpuGHz = cpuGHz;
+    ctx.epochLen = epochLen;
+    ctx.profileLen = profileLen;
+    return ctx;
+}
+
+double
+RunResult::avgCpi() const
+{
+    if (coreCpi.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double c : coreCpi)
+        s += c;
+    return s / static_cast<double>(coreCpi.size());
+}
+
+double
+RunResult::worstCpi() const
+{
+    double w = 0.0;
+    for (double c : coreCpi)
+        w = std::max(w, c);
+    return w;
+}
+
+System::System(const SystemConfig &cfg, Policy &policy)
+    : cfg_(cfg), policy_(policy)
+{
+}
+
+RunResult
+System::run()
+{
+    EventQueue eq;
+    MemoryController mc(eq, cfg_.mem);
+    PolicyContext ctx = cfg_.policyContext();
+
+    // Energy integration: close a constant-frequency interval before
+    // every frequency change and once more at the end of the run.
+    SystemEnergyIntegrator integrator(cfg_.power, cfg_.restWatts);
+    IntervalActivity last = mc.sampleActivity();
+    Tick last_sample = eq.now();
+    // CPU-energy bookkeeping (coordinated-DVFS extension); filled in
+    // below once the cores exist.
+    std::vector<Core *> cpu_cores;
+    std::vector<Tick> last_stall;
+    auto close_interval = [&] {
+        IntervalActivity cur = mc.sampleActivity();
+        IntervalActivity d = cur;
+        d.dt = eq.now() - last_sample;
+        for (std::size_t i = 0; i < d.ranks.size(); ++i)
+            d.ranks[i] = cur.ranks[i] - last.ranks[i];
+        for (std::size_t i = 0; i < d.channelBurst.size(); ++i)
+            d.channelBurst[i] = cur.channelBurst[i] -
+                                last.channelBurst[i];
+        if (d.dt > 0) {
+            integrator.addInterval(d);
+            if (cfg_.modelCpuPower && !cpu_cores.empty()) {
+                // Cores still run at the clock in effect during the
+                // closing interval (CPU re-clocks fire after this).
+                double ghz = cpu_cores[0]->frequencyGHz();
+                double dt_sec = tickToSec(d.dt);
+                Joules cpu_e = 0.0;
+                for (std::size_t i = 0; i < cpu_cores.size(); ++i) {
+                    Core *c = cpu_cores[i];
+                    Tick ds = c->stallTime() - last_stall[i];
+                    last_stall[i] = c->stallTime();
+                    Tick active_end =
+                        c->done() ? std::min(c->doneAt(), eq.now())
+                                  : eq.now();
+                    Tick active = active_end > last_sample
+                                      ? active_end - last_sample
+                                      : 0;
+                    Tick busy_t = active > ds ? active - ds : 0;
+                    double busy = static_cast<double>(busy_t) /
+                                  static_cast<double>(d.dt);
+                    cpu_e += cfg_.power.cpuCorePower(ghz, busy) *
+                             dt_sec;
+                }
+                integrator.addCpuEnergy(cpu_e);
+            }
+        }
+        last = cur;
+        last_sample = eq.now();
+    };
+    mc.setBeforeFreqChangeHook(close_interval);
+
+    policy_.configure(mc, ctx);
+    mc.startRefresh();
+
+    // Workload construction: numCores instances, four per application
+    // in the mix (or the user's custom profiles), phase schedules
+    // scaled to the instruction budget.
+    const double phase_scale =
+        static_cast<double>(cfg_.instrBudget) /
+        static_cast<double>(canonicalBudget);
+    const std::uint64_t region =
+        cfg_.mem.totalBytes() / cfg_.numCores;
+
+    std::vector<AppProfile> profiles;
+    std::vector<std::unique_ptr<SyntheticTraceSource>> sources;
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<Core *> core_ptrs;
+    profiles.reserve(cfg_.numCores);
+    Rng seeder(cfg_.seed);
+
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        const AppProfile &app =
+            cfg_.customApps.empty()
+                ? appForCore(mixByName(cfg_.mixName), i)
+                : cfg_.customApps[i % cfg_.customApps.size()];
+        profiles.push_back(scaledProfile(app, phase_scale));
+    }
+    CoreParams cp;
+    cp.cpuGHz = cfg_.cpuGHz;
+    cp.instrBudget = cfg_.instrBudget;
+    cp.runPastBudget = false;
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        Addr base = static_cast<Addr>(i) * region;
+        sources.push_back(std::make_unique<SyntheticTraceSource>(
+            profiles[i], base, cfg_.mem.lineBytes, seeder.next()));
+        cores.push_back(std::make_unique<Core>(
+            eq, i, *sources.back(), mc, cp));
+        core_ptrs.push_back(cores.back().get());
+    }
+
+    std::uint32_t done = 0;
+    for (auto &c : cores) {
+        c->setOnDone([&] {
+            if (++done == cfg_.numCores)
+                eq.stop();
+        });
+    }
+    if (cfg_.modelCpuPower) {
+        cpu_cores = core_ptrs;
+        last_stall.assign(core_ptrs.size(), 0);
+    }
+
+    std::unique_ptr<EpochController> epochs;
+    if (policy_.dynamic()) {
+        epochs = std::make_unique<EpochController>(eq, mc, core_ptrs,
+                                                   policy_, ctx);
+        epochs->setBeforeCpuFreqChangeHook(close_interval);
+        epochs->start();
+    }
+
+    for (auto &c : cores)
+        c->start();
+
+    eq.runUntil(cfg_.maxSimTime);
+
+    RunResult res;
+    res.hitTimeLimit = done < cfg_.numCores;
+    if (res.hitTimeLimit) {
+        warn("run %s/%s hit the simulated-time limit (%0.1f ms)",
+             cfg_.mixName.c_str(), policy_.name().c_str(),
+             tickToMs(cfg_.maxSimTime));
+    }
+
+    close_interval();
+
+    res.mixName = cfg_.mixName;
+    res.policyName = policy_.name();
+    res.runtime = eq.now();
+    res.energy = integrator.energy();
+    res.counters = mc.sampleCounters();
+    res.avgMemPower = integrator.averageMemoryPower();
+    res.avgDimmPower = integrator.averageDimmPower();
+    res.avgSystemPower = integrator.averagePower();
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        res.coreCpi.push_back(core_ptrs[i]->budgetCpi());
+        res.coreTlm.push_back(core_ptrs[i]->tlm());
+        res.coreApp.push_back(profiles[i].name);
+    }
+    const double total_instr = static_cast<double>(cfg_.instrBudget) *
+                               cfg_.numCores;
+    res.measuredRpki =
+        1000.0 * static_cast<double>(res.counters.reads) / total_instr;
+    res.measuredWpki =
+        1000.0 * static_cast<double>(res.counters.writes) /
+        total_instr;
+    if (epochs)
+        res.timeline = epochs->history();
+    return res;
+}
+
+} // namespace memscale

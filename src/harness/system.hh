@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Full-system wiring: cores + synthetic trace sources + memory
+ * controller + power integrator + policy (+ epoch controller for
+ * dynamic policies), run to completion of a workload mix.
+ */
+
+#ifndef MEMSCALE_HARNESS_SYSTEM_HH
+#define MEMSCALE_HARNESS_SYSTEM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/config.hh"
+#include "workload/app_profile.hh"
+#include "mem/counters.hh"
+#include "memscale/epoch_controller.hh"
+#include "memscale/policies/policy.hh"
+#include "power/params.hh"
+#include "power/system_power.hh"
+
+namespace memscale
+{
+
+struct SystemConfig
+{
+    std::string mixName = "MID1";
+    std::uint32_t numCores = 16;
+    double cpuGHz = 4.0;
+    /**
+     * Instructions per application instance.  The paper runs 100M
+     * SimPoints; benches default to a scaled-down budget with phase
+     * schedules scaled to match (see workload/mixes.hh).
+     */
+    std::uint64_t instrBudget = 5'000'000;
+
+    MemConfig mem;
+    PowerParams power;
+
+    double gamma = 0.10;               ///< max CPI degradation
+    Tick epochLen = msToTick(5.0);
+    Tick profileLen = usToTick(300.0);
+
+    /** Non-memory system power; 0 means "to be calibrated". */
+    Watts restWatts = 0.0;
+    /** Memory subsystem share of server power at the baseline. */
+    double memPowerFraction = 0.40;
+
+    std::uint64_t seed = 12345;
+
+    /**
+     * When non-empty, cores cycle through these profiles instead of
+     * the named mix (library users can define arbitrary workloads);
+     * mixName then only labels the results.
+     */
+    std::vector<AppProfile> customApps;
+
+    /**
+     * Track CPU core energy explicitly (coordinated-DVFS extension).
+     * Off by default: the paper keeps CPU power inside the fixed
+     * rest-of-system draw, and baseline calibration subtracts the
+     * modelled CPU power from it when this is on.
+     */
+    bool modelCpuPower = false;
+
+    /** Hard wall on simulated time (guards runaway experiments). */
+    Tick maxSimTime = msToTick(2000.0);
+
+    PolicyContext policyContext() const;
+};
+
+struct RunResult
+{
+    std::string mixName;
+    std::string policyName;
+    Tick runtime = 0;                    ///< last core's finish tick
+    std::vector<double> coreCpi;         ///< budget CPI per core
+    std::vector<std::uint64_t> coreTlm;  ///< LLC misses per core
+    std::vector<std::string> coreApp;
+    EnergyBreakdown energy;              ///< integrated over the run
+    McCounters counters;                 ///< cumulative at end
+    std::vector<EpochRecord> timeline;   ///< dynamic policies only
+    Watts avgMemPower = 0.0;             ///< DIMMs + MC
+    Watts avgDimmPower = 0.0;
+    Watts avgSystemPower = 0.0;
+    double measuredRpki = 0.0;
+    double measuredWpki = 0.0;
+    bool hitTimeLimit = false;
+
+    double avgCpi() const;
+    double worstCpi() const;
+};
+
+class System
+{
+  public:
+    System(const SystemConfig &cfg, Policy &policy);
+
+    /** Run the mix to completion and collect results. */
+    RunResult run();
+
+  private:
+    SystemConfig cfg_;
+    Policy &policy_;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_HARNESS_SYSTEM_HH

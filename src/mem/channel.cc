@@ -1,0 +1,426 @@
+#include "mem/channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+Channel::Channel(EventQueue &eq, const MemConfig &cfg,
+                 const TimingParams &tp)
+    : eq_(eq), cfg_(cfg), tp_(tp),
+      ranks_(cfg.ranksPerChannel()),
+      banks_(cfg.ranksPerChannel() * cfg.banksPerRank),
+      pdExitReadyAt_(cfg.ranksPerChannel(), 0)
+{
+}
+
+Channel::~Channel()
+{
+    for (auto &bc : banks_)
+        for (MemRequest *r : bc.q)
+            delete r;
+    for (MemRequest *r : writeQueue_)
+        delete r;
+}
+
+Channel::BankCtl &
+Channel::bankCtl(std::uint32_t rank, std::uint32_t bank)
+{
+    return banks_[rank * cfg_.banksPerRank + bank];
+}
+
+void
+Channel::access(MemRequest *req)
+{
+    ++pending_;
+    if (req->isWrite) {
+        writeQueue_.push_back(req);
+        if (writeQueue_.size() >= cfg_.writeQueueDepth / 2)
+            drainMode_ = true;
+        pumpWrites();
+    } else {
+        ++pendingReads_;
+        dispatchToBank(req);
+    }
+}
+
+void
+Channel::dispatchToBank(MemRequest *req)
+{
+    BankCtl &bc = bankCtl(req->loc.rank, req->loc.bank);
+    counters_.bto += bc.q.size();
+    counters_.btc += 1;
+    bc.q.push_back(req);
+    tryService(req->loc.rank, req->loc.bank);
+}
+
+void
+Channel::pumpWrites()
+{
+    while (!writeQueue_.empty() &&
+           (drainMode_ || pendingReads_ == 0)) {
+        MemRequest *w = writeQueue_.front();
+        writeQueue_.pop_front();
+        dispatchToBank(w);
+        if (drainMode_ && writeQueue_.size() <= cfg_.writeQueueDepth / 4)
+            drainMode_ = false;
+    }
+    if (writeQueue_.empty())
+        drainMode_ = false;
+}
+
+void
+Channel::tryService(std::uint32_t r, std::uint32_t b)
+{
+    BankCtl &bc = bankCtl(r, b);
+    if (bc.q.empty() || bc.bank.inService())
+        return;
+
+    // FR-FCFS: promote the oldest row hit to the head of the bank
+    // queue before committing to service order.
+    if (cfg_.scheduler == SchedulerPolicy::FrFcfs &&
+        bc.bank.rowState() == Bank::RowState::Open) {
+        for (auto it = bc.q.begin(); it != bc.q.end(); ++it) {
+            if ((*it)->loc.row == bc.bank.openRow()) {
+                MemRequest *hit = *it;
+                bc.q.erase(it);
+                bc.q.push_front(hit);
+                break;
+            }
+        }
+    }
+
+    MemRequest *req = bc.q.front();
+    bc.bank.setInService(true);
+
+    const TimingParams tp = tp_;
+    Rank &rk = ranks_[r];
+    const Tick now = eq_.now();
+
+    // Earliest first command: planning happens now at the earliest
+    // (writebacks may have aged in the write queue), the request must
+    // clear MC processing, the bank must be available, and the channel
+    // must not be re-locking.
+    Tick earliest = std::max({now, req->arrival + tp.tMC,
+                              bc.bank.readyAt(), suspendedUntil_});
+
+    // Powerdown exit if the rank sleeps (EPDC is counted by the rank).
+    if (rk.powerdown()) {
+        Tick exit_lat = tp.tXP;
+        if (rk.selfRefresh())
+            exit_lat = tp.tXS;
+        else if (rk.slowPowerdown())
+            exit_lat = tp.tXPDLL;
+        rk.setPowerdown(now, false);
+        pdExitReadyAt_[r] = now + exit_lat;
+        req->sawPowerdownExit = true;
+        counters_.epdc += 1;
+    }
+    earliest = std::max(earliest, pdExitReadyAt_[r]);
+
+    // Row-buffer outcome and command sequence.
+    Bank &bank = bc.bank;
+    Tick act_at = 0;
+    Tick cas_at;
+    bool did_act = false;
+    Tick open_miss_pre_done = 0;
+
+    if (bank.rowState() == Bank::RowState::Open &&
+        bank.openRow() == req->loc.row) {
+        req->outcome = RowOutcome::Hit;
+        counters_.rbhc += 1;
+        cas_at = earliest;
+    } else if (bank.rowState() == Bank::RowState::Open) {
+        req->outcome = RowOutcome::OpenMiss;
+        counters_.obmc += 1;
+        Tick pre_at = std::max(earliest, bank.lastActAt() + tp.tRAS);
+        open_miss_pre_done = pre_at + tp.tRP;
+        act_at = rk.earliestAct(open_miss_pre_done, tp);
+        cas_at = act_at + tp.tRCD;
+        did_act = true;
+    } else {
+        req->outcome = RowOutcome::ClosedMiss;
+        counters_.cbmc += 1;
+        act_at = rk.earliestAct(earliest, tp);
+        cas_at = act_at + tp.tRCD;
+        did_act = true;
+    }
+
+    req->serviceStart = did_act ? act_at : cas_at;
+    req->dataReady = cas_at + tp.tCL;
+
+    // Bus stage: CTO accumulates the residual bus work (in bursts)
+    // ahead of this request when its data is ready (paper Eq. 7).
+    Tick data_at_bus = req->dataReady;
+    Tick bank_burst_extra = 0;
+    if (decoupledDeviceMHz_ != 0) {
+        // Devices run slower than the channel: a synchronization
+        // buffer bridges the rates, adding latency, and the bank is
+        // occupied for the slower device-side transfer.
+        Tick dev_burst = 4 * periodFromMHz(decoupledDeviceMHz_);
+        if (dev_burst > tp.tBURST)
+            bank_burst_extra = dev_burst - tp.tBURST;
+        data_at_bus += syncBufferLatency_;
+    }
+    double residual = 0.0;
+    if (busFreeAt_ > data_at_bus) {
+        residual = static_cast<double>(busFreeAt_ - data_at_bus) /
+                   static_cast<double>(tp.tBURST);
+    }
+    counters_.cto += residual;
+    counters_.ctc += 1;
+
+    req->burstStart = std::max(data_at_bus, busFreeAt_);
+    if (throttleUtil_ > 0.0 && throttleUtil_ < 1.0) {
+        // Throttling enforces a minimum burst-to-burst spacing; it
+        // delays requests rather than saving energy (paper Section 5).
+        Tick min_gap = static_cast<Tick>(
+            static_cast<double>(tp.tBURST) / throttleUtil_);
+        req->burstStart = std::max(req->burstStart,
+                                   lastBurstStart_ + min_gap);
+    }
+    lastBurstStart_ = req->burstStart;
+    const Tick chan_burst = tp.tBURST;
+    busFreeAt_ = req->burstStart + chan_burst;
+    req->burstEnd = busFreeAt_;
+    req->bankBurstExtra = bank_burst_extra;
+
+    if (did_act) {
+        bank.recordAct(act_at);
+        rk.recordAct(act_at);
+        bank.openRowAt(req->loc.row);
+    }
+    // The precharge/keep-open decision is made when the access
+    // completes (onBurstDone), when the queue contents are known;
+    // until then nothing else can plan against this bank.
+    bank.setReadyAt(req->burstEnd + bank_burst_extra);
+
+    // Accounting events at the actual transition times.
+    if (req->outcome == RowOutcome::OpenMiss) {
+        eq_.schedule(open_miss_pre_done,
+                     [this, r] { ranks_[r].bankClosed(eq_.now()); });
+    }
+    if (did_act) {
+        eq_.schedule(act_at, [this, r] {
+            ranks_[r].bankOpened(eq_.now());
+            ranks_[r].noteActPre();
+            counters_.pocc += 1;
+        });
+    }
+    bool is_write = req->isWrite;
+    Tick burst_acct = chan_burst + bank_burst_extra;
+    eq_.schedule(req->burstEnd, [this, r, is_write, burst_acct] {
+        ranks_[r].noteBurst(is_write, burst_acct);
+    });
+    eq_.schedule(req->burstEnd, [this, req, chan_burst] {
+        onBurstDone(req, chan_burst);
+    });
+}
+
+void
+Channel::onBurstDone(MemRequest *req, Tick chan_burst)
+{
+    const Tick now = eq_.now();
+    burstTime_ += chan_burst;
+    counters_.busBusyTime += chan_burst;
+
+    std::uint32_t r = req->loc.rank;
+    std::uint32_t b = req->loc.bank;
+    BankCtl &bc = bankCtl(r, b);
+
+    if (bc.q.empty() || bc.q.front() != req)
+        panic("Channel: completion for a request not at bank head");
+    bc.q.pop_front();
+    bc.bank.setInService(false);
+    --pending_;
+
+    // Row management: closed-page (paper Section 2.1) precharges now
+    // unless another pending access targets the open row; open-page
+    // always leaves the row latched and pays the precharge on the
+    // next conflicting access.
+    const TimingParams tp = tp_;
+    bool keep_open = cfg_.pagePolicy == PagePolicy::OpenPage;
+    if (!keep_open) {
+        for (const MemRequest *other : bc.q) {
+            if (other->loc.row == req->loc.row) {
+                keep_open = true;
+                break;
+            }
+        }
+    }
+    if (!keep_open) {
+        Tick pre_start = std::max(now + req->bankBurstExtra,
+                                  bc.bank.lastActAt() + tp.tRAS);
+        if (req->isWrite)
+            pre_start += tp.tWR;
+        Tick pre_done = pre_start + tp.tRP;
+        bc.bank.close();
+        bc.bank.setReadyAt(std::max(bc.bank.readyAt(), pre_done));
+        std::uint32_t rank_idx = r;
+        eq_.schedule(pre_done, [this, rank_idx] {
+            ranks_[rank_idx].bankClosed(eq_.now());
+            maybePowerdown(rank_idx);
+        });
+    }
+
+    if (req->isWrite) {
+        counters_.writes += 1;
+    } else {
+        counters_.reads += 1;
+        counters_.readLatencyTotal += now - req->arrival;
+        --pendingReads_;
+        if (req->onComplete)
+            req->onComplete(now);
+    }
+    delete req;
+
+    tryService(r, b);
+    pumpWrites();
+    maybePowerdown(r);
+}
+
+bool
+Channel::rankFullyIdle(std::uint32_t r) const
+{
+    if (ranks_[r].openBanks() != 0)
+        return false;
+    const std::uint32_t base = r * cfg_.banksPerRank;
+    for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b) {
+        const BankCtl &bc = banks_[base + b];
+        if (!bc.q.empty() || bc.bank.inService())
+            return false;
+    }
+    return true;
+}
+
+void
+Channel::maybePowerdown(std::uint32_t r)
+{
+    if (pdMode_ == PowerdownMode::None)
+        return;
+    if (ranks_[r].powerdown())
+        return;
+    if (eq_.now() < suspendedUntil_)
+        return;
+    if (!rankFullyIdle(r))
+        return;
+    ranks_[r].setPowerdown(eq_.now(), true,
+                           pdMode_ == PowerdownMode::SlowExit,
+                           pdMode_ == PowerdownMode::SelfRefresh);
+}
+
+void
+Channel::setPowerdownMode(PowerdownMode mode)
+{
+    pdMode_ = mode;
+    if (mode != PowerdownMode::None) {
+        for (std::uint32_t r = 0; r < ranks_.size(); ++r)
+            maybePowerdown(r);
+    }
+}
+
+void
+Channel::setDecoupled(std::uint32_t device_mhz)
+{
+    decoupledDeviceMHz_ = device_mhz;
+}
+
+void
+Channel::setThrottle(double max_utilization)
+{
+    throttleUtil_ = max_utilization;
+}
+
+Tick
+Channel::applyFrequency(const TimingParams &tp)
+{
+    const Tick now = eq_.now();
+    Tick quiesce = std::max(now, busFreeAt_);
+    for (auto &bc : banks_)
+        quiesce = std::max(quiesce, bc.bank.readyAt());
+
+    const Tick stall_end = quiesce + tp.tRELOCK;
+    for (auto &bc : banks_)
+        bc.bank.setReadyAt(std::max(bc.bank.readyAt(), stall_end));
+    busFreeAt_ = std::max(busFreeAt_, stall_end);
+    suspendedUntil_ = stall_end;
+    counters_.relockStallTime += stall_end - quiesce;
+
+    // Ranks drop to fast-exit precharge powerdown for the re-lock
+    // window (JEDEC requires powerdown or self-refresh to change
+    // frequency).
+    for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
+        eq_.schedule(quiesce, [this, r] {
+            if (ranks_[r].openBanks() == 0)
+                ranks_[r].setPowerdown(eq_.now(), true, false);
+        });
+        eq_.schedule(stall_end, [this, r] {
+            ranks_[r].setPowerdown(eq_.now(), false);
+            maybePowerdown(r);
+        });
+    }
+
+    tp_ = tp;
+    return stall_end;
+}
+
+void
+Channel::startRefresh()
+{
+    if (refreshRunning_)
+        return;
+    refreshRunning_ = true;
+    for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
+        // Stagger refreshes across ranks to avoid synchronized dips.
+        Tick phase = (tp_.tREFI * (r + 1)) / (ranks_.size() + 1);
+        eq_.schedule(eq_.now() + phase, [this, r] { refreshRank(r); });
+    }
+}
+
+void
+Channel::refreshRank(std::uint32_t r)
+{
+    const TimingParams tp = tp_;
+    const Tick now = eq_.now();
+    Rank &rk = ranks_[r];
+
+    // Ranks resident in self-refresh refresh themselves; skip the
+    // external refresh entirely.
+    if (rk.selfRefresh()) {
+        eq_.schedule(now + tp.tREFI, [this, r] { refreshRank(r); });
+        return;
+    }
+
+    Tick start = std::max(now, suspendedUntil_);
+    if (rk.powerdown()) {
+        bool slow = rk.slowPowerdown();
+        rk.setPowerdown(now, false);
+        counters_.epdc += 1;
+        start = std::max(start, now + (slow ? tp.tXPDLL : tp.tXP));
+    }
+    const std::uint32_t base = r * cfg_.banksPerRank;
+    for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b)
+        start = std::max(start, banks_[base + b].bank.readyAt());
+
+    const Tick end = start + tp.tRFC;
+    for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b) {
+        Bank &bank = banks_[base + b].bank;
+        bank.setReadyAt(std::max(bank.readyAt(), end));
+    }
+    eq_.schedule(end, [this, r] {
+        ranks_[r].noteRefresh();
+        maybePowerdown(r);
+    });
+    eq_.schedule(now + tp.tREFI, [this, r] { refreshRank(r); });
+}
+
+void
+Channel::sampleRanks(Tick now, std::vector<RankActivity> &out)
+{
+    for (auto &rk : ranks_)
+        out.push_back(rk.sample(now));
+}
+
+} // namespace memscale

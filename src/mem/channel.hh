@@ -1,0 +1,159 @@
+/**
+ * @file
+ * One memory channel: per-bank FIFO queues, a writeback queue with
+ * half-full drain threshold, closed-page row management, DDR3 command
+ * timing, rank powerdown, refresh, and frequency re-locking.
+ *
+ * The scheduler is event-driven at request granularity: when a bank
+ * picks up a request, its entire command sequence (optional powerdown
+ * exit, precharge, activate, column access, burst, precharge) is
+ * planned against resource-availability timestamps, and accounting
+ * events are posted at the actual transition times.  This mirrors the
+ * queueing model of paper Fig. 4: banks are servers; the bus is a
+ * zero-depth server; a bank stays blocked until its burst drains
+ * (transfer blocking).
+ */
+
+#ifndef MEMSCALE_MEM_CHANNEL_HH
+#define MEMSCALE_MEM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/rank.hh"
+#include "dram/timing.hh"
+#include "mem/config.hh"
+#include "mem/counters.hh"
+#include "mem/request.hh"
+#include "sim/event_queue.hh"
+
+namespace memscale
+{
+
+class Channel
+{
+  public:
+    /**
+     * @param eq  simulation event queue
+     * @param cfg memory organization
+     * @param tp  initial timing parameters
+     */
+    Channel(EventQueue &eq, const MemConfig &cfg,
+            const TimingParams &tp);
+
+    ~Channel();
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    /**
+     * Accept a request.  The channel takes ownership and deletes the
+     * request after completion.  Reads invoke req->onComplete.
+     */
+    void access(MemRequest *req);
+
+    /**
+     * Quiesce and re-lock to new timing parameters.  All in-flight
+     * commands complete, ranks drop to fast-exit precharge powerdown
+     * for the re-lock window, and no command issues before the
+     * returned tick.
+     */
+    Tick applyFrequency(const TimingParams &tp);
+
+    void setPowerdownMode(PowerdownMode mode);
+
+    /**
+     * Decoupled-DIMM mode: DRAM devices run at device_mhz while the
+     * channel keeps its own rate; 0 disables.
+     */
+    void setDecoupled(std::uint32_t device_mhz);
+
+    /**
+     * Bandwidth throttling (related work, paper Section 5): cap data
+     * bus utilization to the given fraction by enforcing a minimum
+     * spacing between bursts.  <= 0 or >= 1 disables.
+     */
+    void setThrottle(double max_utilization);
+
+    /** Begin issuing per-rank auto-refresh (staggered). */
+    void startRefresh();
+
+    /** Flush rank accounting to `now`; returns per-rank activity. */
+    void sampleRanks(Tick now, std::vector<RankActivity> &out);
+
+    /** Cumulative data-bus busy time on this channel. */
+    Tick burstTime() const { return burstTime_; }
+
+    /** This channel's cumulative counter block. */
+    const McCounters &counters() const { return counters_; }
+
+    /** Requests queued or in flight (reads + writes). */
+    std::size_t pending() const { return pending_; }
+
+    /** Reads queued or in flight. */
+    std::size_t pendingReads() const { return pendingReads_; }
+
+    const TimingParams &timing() const { return tp_; }
+
+  private:
+    struct BankCtl
+    {
+        Bank bank;
+        std::deque<MemRequest *> q;
+    };
+
+    BankCtl &bankCtl(std::uint32_t rank, std::uint32_t bank);
+    Rank &rank(std::uint32_t r) { return ranks_[r]; }
+
+    /** Queue a request at its bank (with BTO/BTC accounting). */
+    void dispatchToBank(MemRequest *req);
+
+    /** Plan the head request of a bank if the bank is free. */
+    void tryService(std::uint32_t rank, std::uint32_t bank);
+
+    /** Burst completed: finish the request, advance the bank. */
+    void onBurstDone(MemRequest *req, Tick chan_burst);
+
+    /** Move writebacks to bank queues per the priority rule. */
+    void pumpWrites();
+
+    /** Enter powerdown if the rank is idle and the mode allows. */
+    void maybePowerdown(std::uint32_t rank);
+
+    void refreshRank(std::uint32_t rank);
+
+    bool rankFullyIdle(std::uint32_t rank) const;
+
+    EventQueue &eq_;
+    const MemConfig &cfg_;
+    McCounters counters_;
+    TimingParams tp_;
+
+    std::vector<Rank> ranks_;
+    std::vector<BankCtl> banks_;        ///< rank-major
+    std::vector<Tick> pdExitReadyAt_;   ///< per rank
+
+    std::deque<MemRequest *> writeQueue_;
+    bool drainMode_ = false;
+
+    Tick busFreeAt_ = 0;
+    Tick suspendedUntil_ = 0;
+    Tick burstTime_ = 0;
+
+    std::size_t pending_ = 0;
+    std::size_t pendingReads_ = 0;
+
+    PowerdownMode pdMode_ = PowerdownMode::None;
+    std::uint32_t decoupledDeviceMHz_ = 0;
+    double throttleUtil_ = 0.0;       ///< 0 disables
+    Tick lastBurstStart_ = 0;
+    Tick syncBufferLatency_ = nsToTick(5.0);
+    bool refreshRunning_ = false;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEM_CHANNEL_HH

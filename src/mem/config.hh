@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Memory-system organization parameters (paper Table 2 defaults:
+ * 4 DDR3 channels, 2 registered dual-rank ECC DIMMs per channel,
+ * 9 x8 chips per rank, 8 banks per chip).
+ */
+
+#ifndef MEMSCALE_MEM_CONFIG_HH
+#define MEMSCALE_MEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace memscale
+{
+
+/** Idle rank powerdown management mode. */
+enum class PowerdownMode : std::uint8_t
+{
+    None,      ///< ranks stay in standby (baseline)
+    FastExit,  ///< immediate fast-exit precharge powerdown (Fast-PD)
+    SlowExit,  ///< immediate slow-exit precharge powerdown (Slow-PD)
+    /**
+     * Immediate self-refresh entry (deepest state; tXS ~ 120 ns exit).
+     * Not evaluated by the paper -- included to quantify why even
+     * aggressive idle states cannot match active low-power modes.
+     */
+    SelfRefresh,
+};
+
+/**
+ * Row-buffer management policy.  The paper uses closed-page (better
+ * for multiprogrammed multi-cores, citing Sudan et al.); open-page is
+ * provided for the ablation study.
+ */
+enum class PagePolicy : std::uint8_t
+{
+    ClosedPage,  ///< precharge unless a same-row request is pending
+    OpenPage,    ///< keep rows open until a conflict or refresh
+};
+
+/**
+ * Request scheduling within a bank queue.  The paper uses FCFS and
+ * argues reordering is orthogonal for single-issue in-order cores;
+ * FR-FCFS is provided for the ablation study.
+ */
+enum class SchedulerPolicy : std::uint8_t
+{
+    Fcfs,    ///< strict arrival order per bank
+    FrFcfs,  ///< row hits first, then arrival order
+};
+
+struct MemConfig
+{
+    std::uint32_t numChannels = 4;
+    std::uint32_t dimmsPerChannel = 2;
+    std::uint32_t ranksPerDimm = 2;
+    std::uint32_t banksPerRank = 8;
+    std::uint32_t lineBytes = 64;
+    /**
+     * Bytes per DRAM row per rank: 1 KB page per x8 chip times 8 data
+     * chips.
+     */
+    std::uint32_t rowBytes = 8192;
+    std::uint64_t bytesPerRank = 1ull << 30;  ///< 2 GB dual-rank DIMM
+
+    /** Writeback queue capacity; draining starts at half (paper 4.1). */
+    std::uint32_t writeQueueDepth = 32;
+
+    PagePolicy pagePolicy = PagePolicy::ClosedPage;
+    SchedulerPolicy scheduler = SchedulerPolicy::Fcfs;
+
+    /**
+     * Consecutive lines kept in the same row before bank interleaving
+     * kicks in (log2); gives streaming workloads a chance at row hits
+     * under closed-page management.
+     */
+    std::uint32_t colLowLines = 4;
+
+    std::uint32_t
+    ranksPerChannel() const
+    {
+        return dimmsPerChannel * ranksPerDimm;
+    }
+
+    std::uint32_t
+    totalRanks() const
+    {
+        return numChannels * ranksPerChannel();
+    }
+
+    std::uint32_t
+    totalDimms() const
+    {
+        return numChannels * dimmsPerChannel;
+    }
+
+    std::uint64_t
+    linesPerRow() const
+    {
+        return rowBytes / lineBytes;
+    }
+
+    std::uint64_t
+    rowsPerBank() const
+    {
+        return bytesPerRank / (static_cast<std::uint64_t>(rowBytes) *
+                               banksPerRank);
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return bytesPerRank * totalRanks();
+    }
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEM_CONFIG_HH

@@ -1,0 +1,205 @@
+#include "mem/controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+MemoryController::MemoryController(EventQueue &eq, const MemConfig &cfg,
+                                   FreqIndex initial)
+    : eq_(eq), cfg_(cfg), map_(cfg),
+      chanFreq_(cfg.numChannels, initial)
+{
+    const TimingParams &t = TimingParams::at(initial);
+    channels_.reserve(cfg_.numChannels);
+    for (std::uint32_t c = 0; c < cfg_.numChannels; ++c)
+        channels_.push_back(std::make_unique<Channel>(eq_, cfg_, t));
+}
+
+MemRequest *
+MemoryController::makeRequest(Addr addr, CoreId core, bool is_write)
+{
+    auto *req = new MemRequest();
+    req->addr = addr;
+    req->isWrite = is_write;
+    req->core = core;
+    req->arrival = eq_.now();
+    req->seq = nextSeq_++;
+    req->loc = map_.decode(addr);
+    return req;
+}
+
+void
+MemoryController::read(Addr addr, CoreId core,
+                       std::function<void(Tick)> on_done)
+{
+    MemRequest *req = makeRequest(addr, core, false);
+    req->onComplete = std::move(on_done);
+    channels_[req->loc.channel]->access(req);
+}
+
+void
+MemoryController::writeback(Addr addr, CoreId core)
+{
+    MemRequest *req = makeRequest(addr, core, true);
+    channels_[req->loc.channel]->access(req);
+}
+
+FreqIndex
+MemoryController::frequency() const
+{
+    FreqIndex fastest = numFreqPoints - 1;
+    for (FreqIndex f : chanFreq_)
+        fastest = std::min(fastest, f);
+    return fastest;
+}
+
+Tick
+MemoryController::setFrequency(FreqIndex idx)
+{
+    if (idx >= numFreqPoints)
+        fatal("MemoryController: bad frequency index %u", idx);
+    bool change = false;
+    for (FreqIndex f : chanFreq_)
+        change |= (f != idx);
+    if (!change)
+        return eq_.now();
+    if (beforeFreqChange_)
+        beforeFreqChange_();
+    freqTransitions_ += 1;
+    const TimingParams &t = TimingParams::at(idx);
+    Tick resume = eq_.now();
+    for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+        if (chanFreq_[c] == idx)
+            continue;
+        chanFreq_[c] = idx;
+        resume = std::max(resume, channels_[c]->applyFrequency(t));
+    }
+    return resume;
+}
+
+Tick
+MemoryController::setChannelFrequency(std::uint32_t channel,
+                                      FreqIndex idx)
+{
+    if (idx >= numFreqPoints)
+        fatal("MemoryController: bad frequency index %u", idx);
+    if (channel >= channels_.size())
+        fatal("MemoryController: bad channel %u", channel);
+    if (chanFreq_[channel] == idx)
+        return eq_.now();
+    if (beforeFreqChange_)
+        beforeFreqChange_();
+    freqTransitions_ += 1;
+    chanFreq_[channel] = idx;
+    return channels_[channel]->applyFrequency(TimingParams::at(idx));
+}
+
+void
+MemoryController::setPowerdownMode(PowerdownMode mode)
+{
+    for (auto &ch : channels_)
+        ch->setPowerdownMode(mode);
+}
+
+void
+MemoryController::setDecoupled(std::uint32_t device_mhz)
+{
+    decoupledMHz_ = device_mhz;
+    for (auto &ch : channels_)
+        ch->setDecoupled(device_mhz);
+}
+
+void
+MemoryController::setThrottle(double max_utilization)
+{
+    for (auto &ch : channels_)
+        ch->setThrottle(max_utilization);
+}
+
+void
+MemoryController::startRefresh()
+{
+    for (auto &ch : channels_)
+        ch->startRefresh();
+}
+
+void
+MemoryController::addRankTimes(McCounters &out, Channel &ch)
+{
+    std::vector<RankActivity> acts;
+    ch.sampleRanks(eq_.now(), acts);
+    for (const RankActivity &a : acts) {
+        out.rankTime += a.totalTime;
+        out.rankPreTime += a.preStandbyTime + a.prePowerdownTime;
+        out.rankPrePdTime += a.prePowerdownTime;
+        out.rankActPdTime += a.actPowerdownTime;
+    }
+}
+
+McCounters
+MemoryController::sampleCounters()
+{
+    McCounters out;
+    for (auto &ch : channels_) {
+        const McCounters &c = ch->counters();
+        out.bto += c.bto;
+        out.btc += c.btc;
+        out.cto += c.cto;
+        out.ctc += c.ctc;
+        out.rbhc += c.rbhc;
+        out.obmc += c.obmc;
+        out.cbmc += c.cbmc;
+        out.epdc += c.epdc;
+        out.pocc += c.pocc;
+        out.reads += c.reads;
+        out.writes += c.writes;
+        out.busBusyTime += c.busBusyTime;
+        out.readLatencyTotal += c.readLatencyTotal;
+        out.relockStallTime += c.relockStallTime;
+        addRankTimes(out, *ch);
+    }
+    out.freqTransitions = freqTransitions_;
+    return out;
+}
+
+McCounters
+MemoryController::sampleChannelCounters(std::uint32_t ch)
+{
+    if (ch >= channels_.size())
+        fatal("MemoryController: bad channel %u", ch);
+    McCounters out = channels_[ch]->counters();
+    addRankTimes(out, *channels_[ch]);
+    return out;
+}
+
+IntervalActivity
+MemoryController::sampleActivity()
+{
+    IntervalActivity ia;
+    ia.busMHz = busMHz();
+    ia.deviceBusMHz = decoupledMHz_;
+    ia.ranksPerChannel = cfg_.ranksPerChannel();
+    ia.numDimms = cfg_.totalDimms();
+    const Tick now = eq_.now();
+    for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+        channels_[c]->sampleRanks(now, ia.ranks);
+        ia.channelBurst.push_back(channels_[c]->burstTime());
+        ia.channelMHz.push_back(
+            TimingParams::at(chanFreq_[c]).busMHz);
+    }
+    return ia;
+}
+
+std::size_t
+MemoryController::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->pending();
+    return n;
+}
+
+} // namespace memscale

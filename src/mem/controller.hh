@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The memory controller: address mapping, per-channel dispatch, the
+ * shared DVFS/DFS frequency domain (MC + buses + DIMMs + devices lock
+ * together, paper Section 3.1), counter sampling, and the activity
+ * interface consumed by the power integrator.
+ *
+ * As an extension of the paper's future work, channels may also be
+ * re-locked individually (setChannelFrequency) and expose per-channel
+ * counter blocks, enabling per-channel DVFS policies.
+ */
+
+#ifndef MEMSCALE_MEM_CONTROLLER_HH
+#define MEMSCALE_MEM_CONTROLLER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+#include "mem/address_map.hh"
+#include "mem/channel.hh"
+#include "mem/config.hh"
+#include "mem/counters.hh"
+#include "power/system_power.hh"
+#include "sim/event_queue.hh"
+
+namespace memscale
+{
+
+class MemoryController
+{
+  public:
+    MemoryController(EventQueue &eq, const MemConfig &cfg,
+                     FreqIndex initial = nominalFreqIndex);
+
+    /** Issue an LLC miss; on_done fires when data returns. */
+    void read(Addr addr, CoreId core, std::function<void(Tick)> on_done);
+
+    /** Issue an LLC writeback (fire and forget). */
+    void writeback(Addr addr, CoreId core);
+
+    /// @name DVFS/DFS control.
+    /// @{
+    /**
+     * Re-lock the whole memory subsystem to a new grid point.
+     * A no-op when nothing changes.  Returns the tick at which
+     * commands may issue again.
+     */
+    Tick setFrequency(FreqIndex idx);
+
+    /**
+     * Re-lock a single channel (per-channel DVFS extension).  The MC
+     * clock follows the fastest channel.
+     */
+    Tick setChannelFrequency(std::uint32_t channel, FreqIndex idx);
+
+    /** Fastest channel's grid point (the MC's domain). */
+    FreqIndex frequency() const;
+    /** A specific channel's grid point. */
+    FreqIndex channelFrequency(std::uint32_t ch) const
+    {
+        return chanFreq_[ch];
+    }
+    std::uint32_t busMHz() const
+    {
+        return TimingParams::at(frequency()).busMHz;
+    }
+
+    /**
+     * Hook invoked just *before* a frequency change takes effect, so
+     * the energy integrator can close the constant-frequency interval.
+     */
+    void
+    setBeforeFreqChangeHook(std::function<void()> fn)
+    {
+        beforeFreqChange_ = std::move(fn);
+    }
+    /// @}
+
+    /** Idle-rank powerdown policy (baseline: None). */
+    void setPowerdownMode(PowerdownMode mode);
+
+    /**
+     * Decoupled-DIMM mode: devices at device_mhz, channel stays at the
+     * current grid frequency.
+     */
+    void setDecoupled(std::uint32_t device_mhz);
+    std::uint32_t decoupledDeviceMHz() const { return decoupledMHz_; }
+
+    /** Cap data-bus utilization on every channel (throttling). */
+    void setThrottle(double max_utilization);
+
+    /** Start refresh engines (call once at simulation start). */
+    void startRefresh();
+
+    /** Cumulative system-wide counters (callers diff snapshots). */
+    McCounters sampleCounters();
+
+    /** Cumulative counters of one channel, with its rank times. */
+    McCounters sampleChannelCounters(std::uint32_t ch);
+
+    /**
+     * Cumulative rank activity + channel burst times for the power
+     * integrator; callers diff consecutive samples.  dt is filled by
+     * the caller for the interval.
+     */
+    IntervalActivity sampleActivity();
+
+    const MemConfig &config() const { return cfg_; }
+    const AddressMap &addressMap() const { return map_; }
+
+    /** Total requests queued or in flight across channels. */
+    std::size_t pending() const;
+
+  private:
+    EventQueue &eq_;
+    MemConfig cfg_;
+    AddressMap map_;
+    std::vector<FreqIndex> chanFreq_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t freqTransitions_ = 0;
+    Tick relockStall_ = 0;
+    std::uint32_t decoupledMHz_ = 0;
+    std::function<void()> beforeFreqChange_;
+
+    MemRequest *makeRequest(Addr addr, CoreId core, bool is_write);
+    void addRankTimes(McCounters &out, Channel &ch);
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEM_CONTROLLER_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory request descriptor exchanged between cores, the memory
+ * controller, and channels.
+ */
+
+#ifndef MEMSCALE_MEM_REQUEST_HH
+#define MEMSCALE_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace memscale
+{
+
+/** Physical location of a line within the memory system. */
+struct DecodedAddr
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;     ///< within the channel
+    std::uint32_t bank = 0;     ///< within the rank
+    std::uint64_t row = 0;
+    std::uint64_t column = 0;   ///< line within the row
+
+    bool
+    operator==(const DecodedAddr &o) const
+    {
+        return channel == o.channel && rank == o.rank &&
+               bank == o.bank && row == o.row && column == o.column;
+    }
+};
+
+/** How a request found its bank's row buffer (Eq. 6 categories). */
+enum class RowOutcome : std::uint8_t
+{
+    Hit,        ///< row already open (RBHC)
+    OpenMiss,   ///< different row open, extra precharge (OBMC)
+    ClosedMiss, ///< bank precharged (CBMC)
+};
+
+struct MemRequest
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    CoreId core = 0;
+    Tick arrival = 0;           ///< tick the MC accepted the request
+    std::uint64_t seq = 0;      ///< global arrival order
+    DecodedAddr loc;
+
+    /// @name Filled in by the channel scheduler.
+    /// @{
+    Tick serviceStart = 0;      ///< first DRAM command
+    Tick dataReady = 0;         ///< column access complete at device
+    Tick burstStart = 0;
+    Tick burstEnd = 0;          ///< data fully transferred (completion)
+    RowOutcome outcome = RowOutcome::ClosedMiss;
+    bool sawPowerdownExit = false;
+    /** Extra bank occupancy beyond the channel burst (Decoupled). */
+    Tick bankBurstExtra = 0;
+    /// @}
+
+    /** Completion callback (reads only); argument is the finish tick. */
+    std::function<void(Tick)> onComplete;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEM_REQUEST_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The MemScale full-system energy model (paper Section 3.3, Eq. 10).
+ *
+ * For each candidate frequency the model predicts the time to repeat
+ * the profiled work and the energy the whole system would consume
+ * doing so, reusing the same Micron-style rank-energy formulas as the
+ * ground-truth integrator (power/dram_power).  The System Energy
+ * Ratio (SER) of a candidate is its predicted energy relative to the
+ * nominal frequency; the policy picks the feasible minimum.
+ */
+
+#ifndef MEMSCALE_MEMSCALE_ENERGY_MODEL_HH
+#define MEMSCALE_MEMSCALE_ENERGY_MODEL_HH
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+#include "mem/config.hh"
+#include "memscale/perf_model.hh"
+#include "power/params.hh"
+
+namespace memscale
+{
+
+/** Static context a policy needs to reason about energy. */
+struct PolicyContext
+{
+    PowerParams power;
+    MemConfig mem;
+    Watts restWatts = 0.0;   ///< calibrated non-memory system power
+    double gamma = 0.10;     ///< maximum allowed CPI degradation
+    double cpuGHz = 4.0;
+    Tick epochLen = msToTick(5.0);
+    Tick profileLen = usToTick(300.0);
+};
+
+/** Prediction for one candidate frequency. */
+struct EnergyPrediction
+{
+    double timeSec = 0.0;       ///< predicted time for profiled work
+    Joules memory = 0.0;        ///< memory-subsystem energy
+    Joules system = 0.0;        ///< memory + rest-of-system energy
+};
+
+class EnergyModel
+{
+  public:
+    /**
+     * Predict time/energy at a grid frequency for the work captured
+     * in `profile`, with frequency-dependent performance supplied by
+     * a calibrated PerfModel.
+     *
+     * @param time_override when > 0, evaluate the energy over this
+     *        wall time instead of the model's own prediction (used by
+     *        coordinated CPU+memory scaling, where CPU frequency also
+     *        stretches the work).
+     */
+    static EnergyPrediction predict(const PerfModel &perf,
+                                    const ProfileData &profile,
+                                    const PolicyContext &ctx,
+                                    FreqIndex f,
+                                    double time_override = 0.0);
+
+    /** SER relative to the nominal grid point (Eq. 10). */
+    static double ser(const PerfModel &perf, const ProfileData &profile,
+                      const PolicyContext &ctx, FreqIndex f,
+                      bool memory_only = false);
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEMSCALE_ENERGY_MODEL_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The OS-level epoch loop (paper Section 3.2): profile at the start of
+ * each quantum, invoke the policy, re-lock the bus frequency, and
+ * settle slack accounts at the end of the quantum.  Also records a
+ * per-epoch timeline (frequency, per-core CPI, channel utilization)
+ * used by the Fig. 7/8 reproductions.
+ */
+
+#ifndef MEMSCALE_MEMSCALE_EPOCH_CONTROLLER_HH
+#define MEMSCALE_MEMSCALE_EPOCH_CONTROLLER_HH
+
+#include <vector>
+
+#include "cpu/core.hh"
+#include "mem/controller.hh"
+#include "memscale/perf_model.hh"
+#include "memscale/policies/policy.hh"
+#include "sim/event_queue.hh"
+
+namespace memscale
+{
+
+/** One epoch of recorded history. */
+struct EpochRecord
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::uint32_t busMHz = 0;          ///< frequency chosen this epoch
+    double cpuGHz = 0.0;               ///< core clock this epoch
+    std::vector<double> coreCpi;       ///< measured CPI over the epoch
+    double channelUtil = 0.0;          ///< mean data-bus utilization
+};
+
+class EpochController
+{
+  public:
+    EpochController(EventQueue &eq, MemoryController &mc,
+                    const std::vector<Core *> &cores, Policy &policy,
+                    const PolicyContext &ctx);
+
+    /** Arm the first epoch at the current tick. */
+    void start();
+
+    const std::vector<EpochRecord> &history() const { return history_; }
+
+    /** Epochs completed so far. */
+    std::size_t epochs() const { return history_.size(); }
+
+    /**
+     * Hook fired just before the policy's CPU-clock choice is applied
+     * to the cores, so energy accounting can close the interval.
+     */
+    void
+    setBeforeCpuFreqChangeHook(std::function<void()> fn)
+    {
+        beforeCpuFreqChange_ = std::move(fn);
+    }
+
+  private:
+    struct Snapshot
+    {
+        McCounters mc;
+        std::vector<CoreSample> cores;
+        Tick at = 0;
+        FreqIndex freq = nominalFreqIndex;
+    };
+
+    Snapshot takeSnapshot();
+    static ProfileData delta(const Snapshot &s0, const Snapshot &s1);
+
+    void beginEpoch();
+    void endProfile();
+    void endEpoch();
+
+    EventQueue &eq_;
+    MemoryController &mc_;
+    std::vector<Core *> cores_;
+    Policy &policy_;
+    PolicyContext ctx_;
+
+    Snapshot epochStart_;
+    Tick epochStartTick_ = 0;
+    std::vector<EpochRecord> history_;
+    std::function<void()> beforeCpuFreqChange_;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEMSCALE_EPOCH_CONTROLLER_HH

@@ -1,0 +1,108 @@
+#include "memscale/perf_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+void
+PerfModel::calibrate(const ProfileData &profile)
+{
+    const McCounters &mc = profile.mc;
+    xiBank_ = mc.xiBank();
+    xiBus_ = mc.xiBus();
+
+    // E[T_device], Eq. 6.  All terms are wall-clock-fixed device
+    // parameters, so the estimate holds at every frequency.
+    const TimingParams &tp = TimingParams::at(profile.freqDuring);
+    const double tCL = tickToSec(tp.tCL);
+    const double tRCD = tickToSec(tp.tRCD);
+    const double tRP = tickToSec(tp.tRP);
+    const double tXP = tickToSec(tp.tXP);
+    const double hits = static_cast<double>(mc.rbhc);
+    const double cb = static_cast<double>(mc.cbmc);
+    const double ob = static_cast<double>(mc.obmc);
+    const double pd = static_cast<double>(mc.epdc);
+    const double n = hits + cb + ob;
+    if (n > 0.0) {
+        tDevice_ = (tCL * hits + (tRCD + tCL) * cb +
+                    (tRP + tRCD + tCL) * ob + tXP * pd) / n;
+    } else {
+        tDevice_ = tRCD + tCL;   // idle default: closed-bank access
+    }
+
+    // Per-core alpha and CPU-side time per instruction.  The memory
+    // component measured during profiling is split out using the model
+    // evaluated at the profiling frequency.
+    cores_.assign(profile.cores.size(), CoreCal{});
+    const double window = tickToSec(profile.windowLen);
+    const double tpi_mem_prof = tpiMem(profile.freqDuring);
+    for (std::size_t i = 0; i < profile.cores.size(); ++i) {
+        const CoreSample &cs = profile.cores[i];
+        CoreCal &cal = cores_[i];
+        cal.instr = cs.tic;
+        if (cs.tic == 0) {
+            // Idle or finished core: it neither constrains frequency
+            // selection nor contributes predicted work time.
+            cal.active = cs.tlm != 0;
+            cal.alpha = cal.active ? 1.0 : 0.0;
+            cal.tpiCpu = 0.0;
+            continue;
+        }
+        cal.alpha = static_cast<double>(cs.tlm) /
+                    static_cast<double>(cs.tic);
+        double tpi_total = window / static_cast<double>(cs.tic);
+        cal.tpiCpu = tpi_total - cal.alpha * tpi_mem_prof;
+        // Guard against sampling noise driving the CPU share negative.
+        cal.tpiCpu = std::max(cal.tpiCpu, 0.05 / (cpuGHz_ * 1e9));
+    }
+}
+
+double
+PerfModel::tpiMem(FreqIndex f) const
+{
+    const TimingParams &tp = TimingParams::at(f);
+    const double s_bank = tickToSec(tp.tMC) + tDevice_;
+    const double s_bus = tickToSec(tp.tBURST);
+    return xiBank_ * (s_bank + xiBus_ * s_bus);
+}
+
+double
+PerfModel::tpi(std::uint32_t core, FreqIndex f) const
+{
+    const CoreCal &cal = cores_[core];
+    return cal.tpiCpu + cal.alpha * tpiMem(f);
+}
+
+double
+PerfModel::cpi(std::uint32_t core, FreqIndex f) const
+{
+    return tpi(core, f) * cpuGHz_ * 1e9;
+}
+
+double
+PerfModel::coreTime(std::uint32_t core, FreqIndex f) const
+{
+    const CoreCal &cal = cores_[core];
+    return static_cast<double>(cal.instr) * tpi(core, f);
+}
+
+double
+PerfModel::meanTime(FreqIndex f) const
+{
+    if (cores_.empty())
+        return 0.0;
+    double sum = 0.0;
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        if (!cores_[i].active)
+            continue;
+        sum += coreTime(i, f);
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace memscale

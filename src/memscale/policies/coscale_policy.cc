@@ -1,0 +1,136 @@
+#include "memscale/policies/coscale_policy.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+#include "memscale/energy_model.hh"
+
+namespace memscale
+{
+
+constexpr std::array<double, 7> CoScalePolicy::cpuGridGHz;
+
+void
+CoScalePolicy::configure(MemoryController &mc, const PolicyContext &ctx)
+{
+    mc.setFrequency(nominalFreqIndex);
+    mc.setPowerdownMode(PowerdownMode::None);
+    perf_ = PerfModel(ctx.cpuGHz);
+    slackReady_ = false;
+    currentGHz_ = ctx.cpuGHz;
+    chosenGHz_ = ctx.cpuGHz;
+}
+
+FreqIndex
+CoScalePolicy::selectFrequency(const ProfileData &profile,
+                               const PolicyContext &ctx,
+                               FreqIndex current)
+{
+    if (!slackReady_) {
+        slack_.reset(profile.cores.size(), ctx.gamma * 0.95);
+        slackReady_ = true;
+    }
+    perf_.calibrate(profile);
+    if (currentGHz_ <= 0.0)
+        currentGHz_ = ctx.cpuGHz;
+
+    // The profiling window ran at currentGHz_, so the calibrated
+    // CPU-side time is already stretched by (nominal/current); a
+    // candidate clock g costs a further factor (currentGHz_/g).
+    const double g_nom = ctx.cpuGHz;
+    auto tpi_at = [&](std::uint32_t i, FreqIndex fm, double g) {
+        return perf_.tpiCpu(i) * (currentGHz_ / g) +
+               perf_.alpha(i) * perf_.tpiMem(fm);
+    };
+
+    const double epoch_sec = tickToSec(ctx.epochLen);
+    FreqIndex best_f = nominalFreqIndex;
+    double best_g = g_nom;
+    double best_energy = std::numeric_limits<double>::infinity();
+
+    for (FreqIndex f = 0; f < numFreqPoints; ++f) {
+        double switch_stretch = 1.0;
+        if (f != current) {
+            switch_stretch +=
+                tickToSec(TimingParams::at(f).tRELOCK) / epoch_sec;
+        }
+        for (double g : cpuGridGHz) {
+            // Feasibility for every active core.
+            bool ok = true;
+            double t_sum = 0.0;
+            double cpu_energy = 0.0;
+            std::uint32_t n_active = 0;
+            for (std::uint32_t i = 0; i < profile.cores.size(); ++i) {
+                if (!perf_.active(i))
+                    continue;
+                double tpi_f = tpi_at(i, f, g) * switch_stretch;
+                double tpi_max = tpi_at(i, nominalFreqIndex, g_nom);
+                if (!slack_.feasible(i, tpi_f, tpi_max, epoch_sec)) {
+                    ok = false;
+                    break;
+                }
+                double t_i = static_cast<double>(
+                                 perf_.instructions(i)) * tpi_f;
+                double busy =
+                    tpi_f > 0.0
+                        ? perf_.tpiCpu(i) * (currentGHz_ / g) / tpi_f
+                        : 0.0;
+                cpu_energy += ctx.power.cpuCorePower(g, busy) * t_i;
+                t_sum += t_i;
+                ++n_active;
+            }
+            if (!ok || n_active == 0)
+                continue;
+            double t_mean = t_sum / n_active;
+
+            EnergyPrediction mem = EnergyModel::predict(
+                perf_, profile, ctx, f, t_mean);
+            // Idle (finished) cores still leak static power.
+            double idle_cores = static_cast<double>(
+                profile.cores.size() - n_active);
+            cpu_energy +=
+                idle_cores * ctx.power.cpuCorePower(g, 0.0) * t_mean;
+            double total = mem.memory + cpu_energy +
+                           ctx.restWatts * t_mean;
+            if (total < best_energy) {
+                best_energy = total;
+                best_f = f;
+                best_g = g;
+            }
+        }
+    }
+
+    chosenGHz_ = best_g;
+    currentGHz_ = best_g;
+    return best_f;
+}
+
+void
+CoScalePolicy::endEpoch(const ProfileData &epoch,
+                        const PolicyContext &ctx)
+{
+    if (!slackReady_) {
+        slack_.reset(epoch.cores.size(), ctx.gamma * 0.95);
+        slackReady_ = true;
+    }
+    PerfModel epoch_model(ctx.cpuGHz);
+    epoch_model.calibrate(epoch);
+    const double actual = tickToSec(epoch.windowLen);
+    const double g_ratio =
+        currentGHz_ > 0.0 ? currentGHz_ / ctx.cpuGHz : 1.0;
+    for (std::uint32_t c = 0; c < epoch.cores.size(); ++c) {
+        if (!epoch_model.active(c))
+            continue;
+        // Work-equivalent time at nominal CPU *and* memory clocks:
+        // the measured CPU share shrinks by current/nominal.
+        double instr =
+            static_cast<double>(epoch_model.instructions(c));
+        double max_sec =
+            instr * (epoch_model.tpiCpu(c) * g_ratio +
+                     epoch_model.alpha(c) *
+                         epoch_model.tpiMem(nominalFreqIndex));
+        slack_.update(c, max_sec, actual);
+    }
+}
+
+} // namespace memscale

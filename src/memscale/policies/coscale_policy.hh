@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Coordinated CPU + memory DVFS (paper Section 6 future work; the
+ * idea later published as CoScale, MICRO'12): each epoch the policy
+ * searches the cross product of memory grid points and CPU clocks,
+ * predicts per-core time as
+ *
+ *   tpi_i(f_mem, g_cpu) = TPI_cpu_i * (g_nom / g_cpu)
+ *                         + alpha_i * TPI_mem(f_mem)
+ *
+ * and picks the pair minimizing predicted full-system energy
+ * (memory model reused from MemScale, plus an explicit V^2 f CPU
+ * power model) subject to the same slack-managed per-core bound.
+ */
+
+#ifndef MEMSCALE_MEMSCALE_POLICIES_COSCALE_POLICY_HH
+#define MEMSCALE_MEMSCALE_POLICIES_COSCALE_POLICY_HH
+
+#include <array>
+
+#include "memscale/policies/policy.hh"
+#include "memscale/slack.hh"
+
+namespace memscale
+{
+
+class CoScalePolicy : public Policy
+{
+  public:
+    /** CPU clock candidates in GHz, fastest first. */
+    static constexpr std::array<double, 7> cpuGridGHz = {
+        4.0, 3.667, 3.333, 3.0, 2.667, 2.333, 2.0,
+    };
+
+    std::string name() const override { return "coscale"; }
+    bool dynamic() const override { return true; }
+
+    void configure(MemoryController &mc,
+                   const PolicyContext &ctx) override;
+
+    FreqIndex selectFrequency(const ProfileData &profile,
+                              const PolicyContext &ctx,
+                              FreqIndex current) override;
+
+    void endEpoch(const ProfileData &epoch,
+                  const PolicyContext &ctx) override;
+
+    double selectedCpuGHz() const override { return chosenGHz_; }
+
+    const SlackTracker &slack() const { return slack_; }
+
+  private:
+    SlackTracker slack_;
+    PerfModel perf_;
+    bool slackReady_ = false;
+    double chosenGHz_ = 0.0;
+    double currentGHz_ = 0.0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEMSCALE_POLICIES_COSCALE_POLICY_HH

@@ -1,0 +1,14 @@
+#include "memscale/policies/decoupled_policy.hh"
+
+namespace memscale
+{
+
+void
+DecoupledPolicy::configure(MemoryController &mc, const PolicyContext &)
+{
+    mc.setFrequency(nominalFreqIndex);
+    mc.setPowerdownMode(PowerdownMode::None);
+    mc.setDecoupled(deviceMHz_);
+}
+
+} // namespace memscale

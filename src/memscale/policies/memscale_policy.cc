@@ -1,0 +1,108 @@
+#include "memscale/policies/memscale_policy.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+#include "memscale/energy_model.hh"
+
+namespace memscale
+{
+
+std::string
+MemScalePolicy::name() const
+{
+    if (opts_.withFastPd)
+        return "memscale-fastpd";
+    if (opts_.memoryEnergyOnly)
+        return "memscale-memenergy";
+    return "memscale";
+}
+
+void
+MemScalePolicy::configure(MemoryController &mc, const PolicyContext &ctx)
+{
+    mc.setFrequency(nominalFreqIndex);
+    mc.setPowerdownMode(opts_.withFastPd ? PowerdownMode::FastExit
+                                         : PowerdownMode::None);
+    perf_ = PerfModel(ctx.cpuGHz);
+    slackReady_ = false;
+}
+
+FreqIndex
+MemScalePolicy::selectFrequency(const ProfileData &profile,
+                                const PolicyContext &ctx,
+                                FreqIndex current)
+{
+    if (!slackReady_) {
+        // A small guard band absorbs the queue-length mispredictions
+        // at the highest frequency that the paper reports (its
+        // MemEnergy variant overshoots by 0.8% for the same reason).
+        slack_.reset(profile.cores.size(), ctx.gamma * 0.95);
+        slackReady_ = true;
+    }
+    perf_.calibrate(profile);
+
+    const double epoch_sec = tickToSec(ctx.epochLen);
+    FreqIndex best = nominalFreqIndex;
+    double best_energy = std::numeric_limits<double>::infinity();
+
+    for (FreqIndex f = 0; f < numFreqPoints; ++f) {
+        // Switching costs a bus re-lock stall; fold it into the
+        // candidate's predicted per-instruction time so short epochs
+        // cannot overshoot the bound through transition overhead.
+        double switch_stretch = 1.0;
+        if (f != current) {
+            switch_stretch +=
+                tickToSec(TimingParams::at(f).tRELOCK) / epoch_sec;
+        }
+        // Feasibility: every core's predicted slowdown must fit its
+        // slack-adjusted target.
+        bool ok = true;
+        for (std::uint32_t c = 0; c < profile.cores.size(); ++c) {
+            if (!perf_.active(c))
+                continue;
+            double tpi_f = perf_.tpi(c, f) * switch_stretch;
+            double tpi_max = perf_.tpi(c, nominalFreqIndex);
+            if (!slack_.feasible(c, tpi_f, tpi_max, epoch_sec)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+
+        EnergyPrediction pred =
+            EnergyModel::predict(perf_, profile, ctx, f);
+        double metric =
+            opts_.memoryEnergyOnly ? pred.memory : pred.system;
+        if (metric < best_energy) {
+            best_energy = metric;
+            best = f;
+        }
+    }
+    return best;
+}
+
+void
+MemScalePolicy::endEpoch(const ProfileData &epoch,
+                         const PolicyContext &ctx)
+{
+    if (!slackReady_) {
+        slack_.reset(epoch.cores.size(), ctx.gamma);
+        slackReady_ = true;
+    }
+    // Estimate, from full-epoch counters, what each core's epoch work
+    // would have cost at nominal frequency, and bank the difference
+    // against the target (Eq. 1 + stage 4 of the epoch loop).
+    PerfModel epoch_model(ctx.cpuGHz);
+    epoch_model.calibrate(epoch);
+    const double actual = tickToSec(epoch.windowLen);
+    for (std::uint32_t c = 0; c < epoch.cores.size(); ++c) {
+        if (!epoch_model.active(c))
+            continue;   // idle/finished cores bank no debt
+        double max_sec = epoch_model.coreTime(c, nominalFreqIndex);
+        slack_.update(c, max_sec, actual);
+    }
+}
+
+} // namespace memscale

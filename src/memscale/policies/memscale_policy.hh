@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The MemScale OS policy (paper Section 3.2): each epoch, profile,
+ * predict CPI and system energy at every grid frequency, keep the
+ * candidates whose predicted slowdown fits each core's accumulated
+ * slack, and pick the one minimizing the (full-system or memory-only)
+ * energy.  Optionally combines with Fast-PD (MemScale + Fast-PD).
+ */
+
+#ifndef MEMSCALE_MEMSCALE_POLICIES_MEMSCALE_POLICY_HH
+#define MEMSCALE_MEMSCALE_POLICIES_MEMSCALE_POLICY_HH
+
+#include "memscale/policies/policy.hh"
+#include "memscale/slack.hh"
+
+namespace memscale
+{
+
+class MemScalePolicy : public Policy
+{
+  public:
+    struct Options
+    {
+        /** Minimize memory energy only (MemScale(MemEnergy)). */
+        bool memoryEnergyOnly = false;
+        /** Also enable fast-exit powerdown (MemScale + Fast-PD). */
+        bool withFastPd = false;
+    };
+
+    MemScalePolicy() : opts_() {}
+    explicit MemScalePolicy(const Options &opts) : opts_(opts) {}
+
+    std::string name() const override;
+    bool dynamic() const override { return true; }
+
+    void configure(MemoryController &mc,
+                   const PolicyContext &ctx) override;
+
+    FreqIndex selectFrequency(const ProfileData &profile,
+                              const PolicyContext &ctx,
+                              FreqIndex current) override;
+
+    void endEpoch(const ProfileData &epoch,
+                  const PolicyContext &ctx) override;
+
+    const SlackTracker &slack() const { return slack_; }
+
+  private:
+    Options opts_;
+    SlackTracker slack_;
+    PerfModel perf_;
+    bool slackReady_ = false;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEMSCALE_POLICIES_MEMSCALE_POLICY_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Energy-management policy interface and registry.
+ *
+ * Policies come in two flavours: static configurations (baseline,
+ * Static, Fast-PD, Slow-PD, Decoupled) that only set up the memory
+ * controller once, and dynamic policies (the MemScale variants) that
+ * the epoch controller consults at every profiling boundary.
+ */
+
+#ifndef MEMSCALE_MEMSCALE_POLICIES_POLICY_HH
+#define MEMSCALE_MEMSCALE_POLICIES_POLICY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/timing.hh"
+#include "mem/controller.hh"
+#include "memscale/energy_model.hh"
+#include "memscale/perf_model.hh"
+
+namespace memscale
+{
+
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    /** Human-readable policy name. */
+    virtual std::string name() const = 0;
+
+    /** One-time memory-controller setup (frequency, PD mode, ...). */
+    virtual void configure(MemoryController &mc,
+                           const PolicyContext &ctx);
+
+    /** Whether the epoch controller should drive this policy. */
+    virtual bool dynamic() const { return false; }
+
+    /**
+     * Dynamic policies: pick the frequency for the rest of the epoch
+     * from the profiling window.  Default: keep the current one.
+     */
+    virtual FreqIndex
+    selectFrequency(const ProfileData &profile,
+                    const PolicyContext &ctx, FreqIndex current)
+    {
+        (void)profile;
+        (void)ctx;
+        return current;
+    }
+
+    /** Dynamic policies: end-of-epoch accounting (slack update). */
+    virtual void
+    endEpoch(const ProfileData &epoch, const PolicyContext &ctx)
+    {
+        (void)epoch;
+        (void)ctx;
+    }
+
+    /**
+     * Coordinated-scaling policies: CPU clock chosen by the last
+     * selectFrequency call, in GHz; 0 means "leave the cores alone".
+     * The epoch controller applies it to every core.
+     */
+    virtual double selectedCpuGHz() const { return 0.0; }
+};
+
+/**
+ * Policy factory.  Known names: "baseline", "static", "fastpd",
+ * "slowpd", "decoupled", "memscale", "memscale-memenergy",
+ * "memscale-fastpd".
+ */
+std::unique_ptr<Policy> makePolicy(const std::string &name);
+
+/** All registered policy names. */
+std::vector<std::string> policyNames();
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEMSCALE_POLICIES_POLICY_HH

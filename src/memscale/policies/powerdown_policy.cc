@@ -1,0 +1,41 @@
+#include "memscale/policies/powerdown_policy.hh"
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+std::string
+PowerdownPolicy::name() const
+{
+    switch (mode_) {
+      case PowerdownMode::FastExit:
+        return "fastpd";
+      case PowerdownMode::SlowExit:
+        return "slowpd";
+      case PowerdownMode::SelfRefresh:
+        return "srpd";
+      default:
+        return "nopd";
+    }
+}
+
+void
+PowerdownPolicy::configure(MemoryController &mc, const PolicyContext &)
+{
+    mc.setFrequency(nominalFreqIndex);
+    mc.setPowerdownMode(mode_);
+}
+
+void
+ThrottlePolicy::configure(MemoryController &mc, const PolicyContext &)
+{
+    if (maxUtil_ <= 0.0 || maxUtil_ > 1.0)
+        fatal("ThrottlePolicy: utilization cap %g out of (0,1]",
+              maxUtil_);
+    mc.setFrequency(nominalFreqIndex);
+    mc.setPowerdownMode(PowerdownMode::None);
+    mc.setThrottle(maxUtil_);
+}
+
+} // namespace memscale

@@ -1,0 +1,20 @@
+#include "memscale/policies/static_policy.hh"
+
+namespace memscale
+{
+
+void
+BaselinePolicy::configure(MemoryController &mc, const PolicyContext &)
+{
+    mc.setFrequency(nominalFreqIndex);
+    mc.setPowerdownMode(PowerdownMode::None);
+}
+
+void
+StaticPolicy::configure(MemoryController &mc, const PolicyContext &)
+{
+    mc.setFrequency(freqIndexForMHz(mhz_));
+    mc.setPowerdownMode(PowerdownMode::None);
+}
+
+} // namespace memscale

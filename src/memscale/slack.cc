@@ -1,0 +1,2 @@
+// SlackTracker is header-only; this anchors it in ms_core.
+#include "memscale/slack.hh"

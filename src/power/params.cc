@@ -1,0 +1,67 @@
+#include "power/params.hh"
+
+#include <algorithm>
+
+namespace memscale
+{
+
+double
+PowerParams::mcVoltage(std::uint32_t bus_mhz) const
+{
+    // Voltage tracks frequency linearly across the usable grid.
+    double span = static_cast<double>(nominalBusMHz - minBusMHz);
+    double t = (static_cast<double>(bus_mhz) -
+                static_cast<double>(minBusMHz)) / span;
+    t = std::clamp(t, 0.0, 1.0);
+    return mcVMin + t * (mcVMax - mcVMin);
+}
+
+Watts
+PowerParams::mcPower(std::uint32_t bus_mhz, double utilization) const
+{
+    utilization = std::clamp(utilization, 0.0, 1.0);
+    double idle = proportionality * mcPeakW;
+    double base = idle + (mcPeakW - idle) * utilization;
+    double v = mcVoltage(bus_mhz) / mcVMax;
+    double f = static_cast<double>(bus_mhz) /
+               static_cast<double>(nominalBusMHz);
+    return base * v * v * f;
+}
+
+Watts
+PowerParams::registerPower(std::uint32_t bus_mhz,
+                           double utilization) const
+{
+    utilization = std::clamp(utilization, 0.0, 1.0);
+    double idle = proportionality * regPeakW;
+    double base = idle + (regPeakW - idle) * utilization;
+    return base * freqScale(bus_mhz);
+}
+
+Watts
+PowerParams::pllPower(std::uint32_t bus_mhz) const
+{
+    return pllW * freqScale(bus_mhz);
+}
+
+double
+PowerParams::cpuVoltage(double ghz) const
+{
+    double t = (ghz - cpuMinGHz) / (cpuNominalGHz - cpuMinGHz);
+    t = std::clamp(t, 0.0, 1.0);
+    return cpuVMin + t * (cpuVMax - cpuVMin);
+}
+
+Watts
+PowerParams::cpuCorePower(double ghz, double utilization) const
+{
+    utilization = std::clamp(utilization, 0.0, 1.0);
+    double v = cpuVoltage(ghz) / cpuVMax;
+    double f = ghz / cpuNominalGHz;
+    double dyn = (1.0 - cpuStaticFrac) * cpuCorePeakW * v * v * f *
+                 utilization;
+    double stat = cpuStaticFrac * cpuCorePeakW * v;
+    return dyn + stat;
+}
+
+} // namespace memscale

@@ -1,0 +1,64 @@
+#include "sim/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn, EventClass cls)
+{
+    if (when < now_)
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    EventId id = nextSeq_++;
+    heap_.push(Entry{when, static_cast<std::uint8_t>(cls), id, id,
+                     std::move(fn)});
+    live_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Cancellation is lazy: the heap entry is skipped when popped.
+    return live_.erase(id) > 0;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        // The entry must be moved out before pop; top() is const.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        if (live_.erase(e.id) == 0)
+            continue;   // cancelled
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    stopped_ = false;
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && !stopped_) {
+        const Entry &top = heap_.top();
+        if (top.when > limit)
+            break;
+        if (step())
+            ++executed;
+    }
+    // Advance the clock to the horizon unless stopped early; any
+    // remaining events all lie beyond it.
+    if (!stopped_ && limit != MaxTick && now_ < limit)
+        now_ = limit;
+    return executed;
+}
+
+} // namespace memscale

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * Events are closures scheduled at absolute ticks.  Ties are broken by
+ * (priority, insertion sequence) so simulations are reproducible
+ * regardless of heap internals.  Events can be cancelled via the
+ * EventId returned at scheduling time.
+ */
+
+#ifndef MEMSCALE_SIM_EVENT_QUEUE_HH
+#define MEMSCALE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace memscale
+{
+
+/** Handle to a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel id for "no event". */
+inline constexpr EventId InvalidEventId = 0;
+
+/**
+ * Priority classes for same-tick ordering.  Lower values run first.
+ * Counter sampling must observe state *after* the hardware settles at
+ * a tick, hence the Sample class runs last.
+ */
+enum class EventClass : std::uint8_t
+{
+    Hardware = 0,  ///< DRAM/MC/CPU state transitions
+    Policy = 1,    ///< OS policy invocations
+    Sample = 2,    ///< statistics sampling / epoch bookkeeping
+};
+
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule fn at absolute tick `when` (>= now).
+     * @return an id usable with cancel().
+     */
+    EventId schedule(Tick when, std::function<void()> fn,
+                     EventClass cls = EventClass::Hardware);
+
+    /** Schedule fn `delta` ticks from now. */
+    EventId
+    scheduleIn(Tick delta, std::function<void()> fn,
+               EventClass cls = EventClass::Hardware)
+    {
+        return schedule(now_ + delta, std::move(fn), cls);
+    }
+
+    /**
+     * Cancel a pending event.  Cancelling an already-fired or unknown
+     * id is a harmless no-op (returns false).
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return live_.size(); }
+
+    bool empty() const { return live_.empty(); }
+
+    /**
+     * Run events until the queue drains or `limit` ticks is passed.
+     * Events scheduled exactly at `limit` still run.  Returns the
+     * number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit = MaxTick);
+
+    /** Execute exactly one event if any is pending; returns true if so. */
+    bool step();
+
+    /** Abort the current runUntil() after the in-flight event returns. */
+    void stop() { stopped_ = true; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint8_t cls;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+        bool cancelled = false;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (cls != o.cls)
+                return cls > o.cls;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /** Ids scheduled but neither fired nor cancelled. */
+    std::unordered_set<EventId> live_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    bool stopped_ = false;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_SIM_EVENT_QUEUE_HH

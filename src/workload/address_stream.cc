@@ -1,0 +1,36 @@
+#include "workload/address_stream.hh"
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+AddressStream::AddressStream(const AddressStreamParams &params,
+                             Addr base, std::uint64_t seed)
+    : params_(params), base_(base), rng_(seed)
+{
+    if (params_.numStreams == 0 || params_.footprintBytes == 0)
+        fatal("AddressStream: degenerate parameters");
+    cursors_.resize(params_.numStreams);
+    for (auto &c : cursors_)
+        c = rng_.below(params_.footprintBytes);
+}
+
+Addr
+AddressStream::next(bool &is_store)
+{
+    is_store = rng_.chance(params_.storeFrac);
+    if (rng_.chance(params_.seqFrac)) {
+        std::uint64_t s = rng_.below(cursors_.size());
+        cursors_[s] = (cursors_[s] + params_.strideBytes) %
+                      params_.footprintBytes;
+        return base_ + cursors_[s];
+    }
+    std::uint64_t hot_bytes = static_cast<std::uint64_t>(
+        params_.hotFrac * static_cast<double>(params_.footprintBytes));
+    if (hot_bytes >= 64 && rng_.chance(params_.hotProb))
+        return base_ + rng_.below(hot_bytes);
+    return base_ + rng_.below(params_.footprintBytes);
+}
+
+} // namespace memscale

@@ -1,0 +1,57 @@
+#include "workload/app_profile.hh"
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+namespace
+{
+
+double
+averageRate(const AppProfile &p, std::uint64_t horizon, bool writes)
+{
+    if (p.phases.empty() || horizon == 0)
+        return 0.0;
+    double weighted = 0.0;
+    std::uint64_t covered = 0;
+    std::size_t i = 0;
+    while (covered < horizon) {
+        const AppPhase &ph = p.phases[i];
+        std::uint64_t len = ph.instructions == 0
+                                ? horizon - covered
+                                : std::min<std::uint64_t>(
+                                      ph.instructions,
+                                      horizon - covered);
+        weighted += (writes ? ph.wpki : ph.mpki) *
+                    static_cast<double>(len);
+        covered += len;
+        if (ph.instructions == 0)
+            break;
+        ++i;
+        if (i == p.phases.size()) {
+            if (!p.loopPhases)
+                break;
+            i = 0;
+        }
+    }
+    if (covered == 0)
+        return 0.0;
+    return weighted / static_cast<double>(covered);
+}
+
+} // namespace
+
+double
+AppProfile::averageMpki(std::uint64_t horizon) const
+{
+    return averageRate(*this, horizon, false);
+}
+
+double
+AppProfile::averageWpki(std::uint64_t horizon) const
+{
+    return averageRate(*this, horizon, true);
+}
+
+} // namespace memscale

@@ -1,0 +1,111 @@
+#include "workload/llc.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+Llc::Llc(std::uint64_t size_bytes, std::uint32_t ways,
+         std::uint32_t line_bytes)
+    : ways_(ways), lineBytes_(line_bytes),
+      numSets_(size_bytes / (static_cast<std::uint64_t>(ways) *
+                             line_bytes))
+{
+    if (numSets_ == 0 || ways_ == 0)
+        fatal("Llc: degenerate geometry (%llu bytes, %u ways)",
+              static_cast<unsigned long long>(size_bytes), ways);
+    lines_.resize(numSets_ * ways_);
+}
+
+Llc::AccessResult
+Llc::access(Addr addr, bool is_store)
+{
+    AccessResult res;
+    Addr line_addr = addr / lineBytes_;
+    std::uint64_t set = line_addr % numSets_;
+    Addr tag = line_addr / numSets_;
+    Line *base = &lines_[set * ways_];
+    ++clock_;
+
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            ++hits_;
+            l.lastUse = clock_;
+            if (is_store)
+                l.dirty = true;
+            res.hit = true;
+            return res;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lastUse < victim->lastUse) {
+            victim = &l;
+        }
+    }
+
+    ++misses_;
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        res.writeback = true;
+        res.victimAddr =
+            (victim->tag * numSets_ + set) * lineBytes_;
+    }
+    victim->valid = true;
+    victim->dirty = is_store;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return res;
+}
+
+CacheTraceSource::CacheTraceSource(const Params &params,
+                                   const AddressStreamParams &stream,
+                                   Addr base, std::uint64_t seed)
+    : params_(params), stream_(stream, base, seed),
+      llc_(params.llcBytes, params.llcWays, params.lineBytes),
+      rng_(seed ^ 0x5bd1e995u)
+{
+    if (params_.accessesPerKiloInstr <= 0.0)
+        fatal("CacheTraceSource: accessesPerKiloInstr must be > 0");
+}
+
+bool
+CacheTraceSource::next(TraceChunk &chunk)
+{
+    // Run LLC lookups until one misses; instructions accumulate per
+    // lookup at the configured access density.
+    const double instr_per_access =
+        1000.0 / params_.accessesPerKiloInstr;
+    double gap = 0.0;
+    for (;;) {
+        gap += rng_.exponential(instr_per_access);
+        bool is_store = false;
+        Addr addr = stream_.next(is_store);
+        Llc::AccessResult res = llc_.access(addr, is_store);
+        if (res.hit)
+            continue;
+        chunk.instructions =
+            static_cast<std::uint64_t>(std::llround(gap));
+        chunk.cpi = params_.baseCpi;
+        chunk.missAddr = addr;
+        chunk.hasWriteback = res.writeback;
+        chunk.writebackAddr = res.victimAddr;
+        instructions_ += chunk.instructions + 1;
+        ++missesEmitted_;
+        return true;
+    }
+}
+
+double
+CacheTraceSource::observedMpki() const
+{
+    if (instructions_ == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(missesEmitted_) /
+           static_cast<double>(instructions_);
+}
+
+} // namespace memscale

@@ -1,0 +1,166 @@
+#include "workload/mixes.hh"
+
+#include <map>
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+namespace
+{
+
+constexpr std::uint64_t MB = 1ull << 20;
+
+AppProfile
+flat(const char *name, double mpki, double wpki, double cpi,
+     double stream, std::uint64_t footprint)
+{
+    AppProfile p;
+    p.name = name;
+    p.phases.push_back(AppPhase{mpki, wpki, cpi, stream, 0});
+    p.footprintBytes = footprint;
+    return p;
+}
+
+std::map<std::string, AppProfile>
+buildApps()
+{
+    std::map<std::string, AppProfile> apps;
+    auto add = [&](AppProfile p) { apps[p.name] = std::move(p); };
+
+    // ILP-class applications (SPEC int/fp with high ILP, tiny miss
+    // rates).  Rates solved from the Table 1 mix averages.
+    add(flat("vortex", 0.16, 0.12, 0.90, 0.5, 48 * MB));
+    add(flat("gcc", 0.64, 0.08, 1.00, 0.5, 64 * MB));
+    add(flat("sixtrack", 0.28, 0.02, 0.80, 0.5, 48 * MB));
+    add(flat("mesa", 0.40, 0.02, 0.85, 0.5, 48 * MB));
+    add(flat("perlbmk", 0.20, 0.010, 0.90, 0.5, 48 * MB));
+    add(flat("crafty", 0.20, 0.010, 0.95, 0.5, 32 * MB));
+    add(flat("gzip", 0.15, 0.015, 0.85, 0.6, 32 * MB));
+    add(flat("eon", 0.09, 0.005, 0.80, 0.4, 32 * MB));
+
+    // MID-class (balanced) applications.
+    add(flat("ammp", 1.80, 0.02, 1.10, 0.5, 96 * MB));
+    add(flat("gap", 1.60, 0.02, 1.00, 0.5, 96 * MB));
+    add(flat("wupwise", 1.90, 0.02, 1.05, 0.6, 96 * MB));
+    add(flat("vpr", 1.58, 0.02, 1.15, 0.4, 96 * MB));
+    add(flat("astar", 2.80, 0.10, 1.20, 0.4, 96 * MB));
+    add(flat("parser", 2.16, 0.06, 1.10, 0.4, 96 * MB));
+    add(flat("twolf", 2.30, 0.10, 1.15, 0.4, 96 * MB));
+    add(flat("facerec", 3.18, 0.08, 1.00, 0.6, 96 * MB));
+    add(flat("bzip2", 2.04, 0.12, 1.05, 0.5, 96 * MB));
+
+    // apsi has the large mid-run phase transition visible in Fig. 7:
+    // quiet for the first ~55% of its 100M-instruction SimPoint, then
+    // strongly memory-bound.
+    {
+        AppProfile apsi;
+        apsi.name = "apsi";
+        apsi.phases.push_back(AppPhase{0.8, 0.08, 1.00, 0.5,
+                                       55'000'000});
+        apsi.phases.push_back(AppPhase{9.0, 0.60, 1.60, 0.7, 0});
+        apsi.footprintBytes = 128 * MB;
+        apps["apsi"] = std::move(apsi);
+    }
+
+    // MEM-class applications.
+    add(flat("swim", 22.00, 6.00, 0.80, 0.8, 192 * MB));
+    add(flat("applu", 16.00, 4.20, 0.85, 0.8, 192 * MB));
+    add(flat("art", 16.00, 1.00, 0.70, 0.5, 128 * MB));
+    add(flat("lucas", 14.12, 0.60, 0.90, 0.6, 128 * MB));
+    add(flat("galgel", 12.00, 0.20, 0.95, 0.6, 128 * MB));
+    add(flat("equake", 12.40, 0.20, 0.90, 0.4, 128 * MB));
+    add(flat("fma3d", 4.50, 0.30, 1.00, 0.5, 128 * MB));
+    add(flat("mgrid", 5.58, 0.30, 0.90, 0.8, 192 * MB));
+
+    return apps;
+}
+
+const std::map<std::string, AppProfile> &
+apps()
+{
+    static const std::map<std::string, AppProfile> table = buildApps();
+    return table;
+}
+
+std::vector<MixSpec>
+buildMixes()
+{
+    return {
+        {"ILP1", "ILP", {"vortex", "gcc", "sixtrack", "mesa"},
+         0.37, 0.06},
+        {"ILP2", "ILP", {"perlbmk", "crafty", "gzip", "eon"},
+         0.16, 0.01},
+        {"ILP3", "ILP", {"sixtrack", "mesa", "perlbmk", "crafty"},
+         0.27, 0.01},
+        {"ILP4", "ILP", {"vortex", "mesa", "perlbmk", "crafty"},
+         0.24, 0.06},
+        {"MID1", "MID", {"ammp", "gap", "wupwise", "vpr"},
+         1.72, 0.01},
+        {"MID2", "MID", {"astar", "parser", "twolf", "facerec"},
+         2.61, 0.09},
+        {"MID3", "MID", {"apsi", "bzip2", "ammp", "gap"},
+         2.41, 0.16},
+        {"MID4", "MID", {"wupwise", "vpr", "astar", "parser"},
+         2.11, 0.07},
+        {"MEM1", "MEM", {"swim", "applu", "art", "lucas"},
+         17.03, 3.03},
+        {"MEM2", "MEM", {"fma3d", "mgrid", "galgel", "equake"},
+         8.62, 0.25},
+        {"MEM3", "MEM", {"swim", "applu", "galgel", "equake"},
+         15.6, 3.71},
+        {"MEM4", "MEM", {"art", "lucas", "mgrid", "fma3d"},
+         8.96, 0.33},
+    };
+}
+
+} // namespace
+
+const AppProfile &
+appByName(const std::string &name)
+{
+    auto it = apps().find(name);
+    if (it == apps().end())
+        fatal("unknown application profile '%s'", name.c_str());
+    return it->second;
+}
+
+const std::vector<MixSpec> &
+allMixes()
+{
+    static const std::vector<MixSpec> mixes = buildMixes();
+    return mixes;
+}
+
+const MixSpec &
+mixByName(const std::string &name)
+{
+    for (const MixSpec &m : allMixes())
+        if (m.name == name)
+            return m;
+    fatal("unknown workload mix '%s'", name.c_str());
+}
+
+const AppProfile &
+appForCore(const MixSpec &mix, std::uint32_t core)
+{
+    return appByName(mix.apps[core % mix.apps.size()]);
+}
+
+AppProfile
+scaledProfile(const AppProfile &p, double scale)
+{
+    AppProfile out = p;
+    for (AppPhase &ph : out.phases) {
+        if (ph.instructions != 0) {
+            ph.instructions = static_cast<std::uint64_t>(
+                static_cast<double>(ph.instructions) * scale);
+            if (ph.instructions == 0)
+                ph.instructions = 1;
+        }
+    }
+    return out;
+}
+
+} // namespace memscale

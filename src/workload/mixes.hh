@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The paper's 12 multiprogrammed workloads (Table 1) built from
+ * synthetic profiles of the 26 SPEC 2000/2006 applications used in the
+ * mixes.  Per-application rates were solved so that each mix's average
+ * RPKI/WPKI approximates the Table 1 measurements (the per-app values
+ * are not published; only mix averages are).
+ */
+
+#ifndef MEMSCALE_WORKLOAD_MIXES_HH
+#define MEMSCALE_WORKLOAD_MIXES_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "workload/app_profile.hh"
+
+namespace memscale
+{
+
+struct MixSpec
+{
+    std::string name;             ///< e.g. "MID3"
+    std::string klass;            ///< "ILP", "MID", or "MEM"
+    std::array<std::string, 4> apps;
+    double paperRpki;             ///< Table 1 reference value
+    double paperWpki;             ///< Table 1 reference value
+};
+
+/** Profile registry for all applications used by the mixes. */
+const AppProfile &appByName(const std::string &name);
+
+/** All 12 mixes of Table 1. */
+const std::vector<MixSpec> &allMixes();
+
+/** Lookup by name; fatal() on unknown mixes. */
+const MixSpec &mixByName(const std::string &name);
+
+/** The application run by a given core under a mix (x4 each). */
+const AppProfile &appForCore(const MixSpec &mix, std::uint32_t core);
+
+/**
+ * Clone a profile with phase lengths scaled by `scale`, so phase
+ * schedules calibrated for the paper's 100M-instruction SimPoints
+ * land proportionally within shorter simulated budgets.
+ */
+AppProfile scaledProfile(const AppProfile &p, double scale);
+
+/** Canonical instruction budget the phase schedules assume. */
+inline constexpr std::uint64_t canonicalBudget = 100'000'000;
+
+} // namespace memscale
+
+#endif // MEMSCALE_WORKLOAD_MIXES_HH

@@ -1,0 +1,101 @@
+#include "workload/trace_file.hh"
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+namespace
+{
+
+struct TraceFileHeader
+{
+    std::uint64_t magic;
+    std::uint32_t version;
+    std::uint32_t reserved;
+};
+
+} // namespace
+
+TraceRecorder::TraceRecorder(TraceSource &inner,
+                             const std::string &path)
+    : inner_(inner), file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        fatal("TraceRecorder: cannot open '%s' for writing",
+              path.c_str());
+    TraceFileHeader hdr{traceFileMagic, traceFileVersion, 0};
+    if (std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1)
+        fatal("TraceRecorder: header write failed for '%s'",
+              path.c_str());
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceRecorder::next(TraceChunk &chunk)
+{
+    if (!inner_.next(chunk))
+        return false;
+    TraceFileRecord rec;
+    rec.instructions = chunk.instructions;
+    rec.missAddr = chunk.missAddr;
+    rec.writebackAddr =
+        chunk.hasWriteback ? chunk.writebackAddr : ~0ull;
+    rec.cpi = chunk.cpi;
+    if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1)
+        fatal("TraceRecorder: record write failed");
+    ++recorded_;
+    return true;
+}
+
+TraceFileSource::TraceFileSource(const std::string &path, bool loop)
+    : file_(std::fopen(path.c_str(), "rb")), loop_(loop)
+{
+    if (!file_)
+        fatal("TraceFileSource: cannot open '%s'", path.c_str());
+    TraceFileHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1 ||
+        hdr.magic != traceFileMagic) {
+        fatal("TraceFileSource: '%s' is not a MemScale trace",
+              path.c_str());
+    }
+    if (hdr.version != traceFileVersion)
+        fatal("TraceFileSource: '%s' has unsupported version %u",
+              path.c_str(), hdr.version);
+    dataStart_ = std::ftell(file_);
+}
+
+TraceFileSource::~TraceFileSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceFileSource::next(TraceChunk &chunk)
+{
+    TraceFileRecord rec;
+    if (std::fread(&rec, sizeof(rec), 1, file_) != 1) {
+        if (!loop_)
+            return false;
+        if (std::fseek(file_, dataStart_, SEEK_SET) != 0)
+            return false;
+        if (std::fread(&rec, sizeof(rec), 1, file_) != 1)
+            return false;   // empty trace
+    }
+    chunk.instructions = rec.instructions;
+    chunk.cpi = rec.cpi;
+    chunk.missAddr = rec.missAddr;
+    chunk.hasWriteback = rec.writebackAddr != ~0ull;
+    chunk.writebackAddr =
+        chunk.hasWriteback ? rec.writebackAddr : 0;
+    ++replayed_;
+    return true;
+}
+
+} // namespace memscale

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * LLC miss-trace recording and replay — the paper's two-step
+ * methodology (Section 4.1): a front end collects per-core miss and
+ * writeback traces once; the detailed memory simulator replays them
+ * under every policy, guaranteeing identical offered work.
+ *
+ * Format: a small header followed by fixed-size little-endian records
+ * per chunk.  One file per core.
+ */
+
+#ifndef MEMSCALE_WORKLOAD_TRACE_FILE_HH
+#define MEMSCALE_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cpu/trace.hh"
+
+namespace memscale
+{
+
+/** On-disk per-chunk record. */
+struct TraceFileRecord
+{
+    std::uint64_t instructions;
+    std::uint64_t missAddr;
+    std::uint64_t writebackAddr;   ///< ~0ull when absent
+    double cpi;
+};
+
+inline constexpr std::uint64_t traceFileMagic = 0x4d53434c54524331ull;
+inline constexpr std::uint32_t traceFileVersion = 1;
+
+/**
+ * Tee: forwards chunks from an inner source while appending them to a
+ * trace file.
+ */
+class TraceRecorder : public TraceSource
+{
+  public:
+    TraceRecorder(TraceSource &inner, const std::string &path);
+    ~TraceRecorder() override;
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    bool next(TraceChunk &chunk) override;
+
+    std::uint64_t recorded() const { return recorded_; }
+
+  private:
+    TraceSource &inner_;
+    std::FILE *file_;
+    std::uint64_t recorded_ = 0;
+};
+
+/** Replays a recorded trace file; optionally loops at end-of-file. */
+class TraceFileSource : public TraceSource
+{
+  public:
+    explicit TraceFileSource(const std::string &path,
+                             bool loop = false);
+    ~TraceFileSource() override;
+
+    TraceFileSource(const TraceFileSource &) = delete;
+    TraceFileSource &operator=(const TraceFileSource &) = delete;
+
+    bool next(TraceChunk &chunk) override;
+
+    std::uint64_t replayed() const { return replayed_; }
+
+  private:
+    std::FILE *file_;
+    long dataStart_ = 0;
+    bool loop_;
+    std::uint64_t replayed_ = 0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Per-application profile validation: every application used by the
+ * Table 1 mixes must be generatable, hit its configured MPKI/WPKI
+ * through the synthetic source, stay in its footprint, and carry sane
+ * parameters.  Parameterized across all 26 applications.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/mixes.hh"
+#include "workload/trace_source.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+const std::vector<std::string> &
+allAppNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::set<std::string> s;
+        for (const MixSpec &m : allMixes())
+            for (const auto &a : m.apps)
+                s.insert(a);
+        return std::vector<std::string>(s.begin(), s.end());
+    }();
+    return names;
+}
+
+} // namespace
+
+class AppProfileTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const AppProfile &app() const { return appByName(GetParam()); }
+};
+
+TEST_P(AppProfileTest, ParametersSane)
+{
+    const AppProfile &p = app();
+    EXPECT_EQ(p.name, GetParam());
+    ASSERT_FALSE(p.phases.empty());
+    for (const AppPhase &ph : p.phases) {
+        EXPECT_GT(ph.mpki, 0.0);
+        EXPECT_GE(ph.wpki, 0.0);
+        EXPECT_LE(ph.wpki, ph.mpki);   // writebacks ride on misses
+        EXPECT_GT(ph.baseCpi, 0.3);
+        EXPECT_LT(ph.baseCpi, 4.0);
+        EXPECT_GE(ph.streamFrac, 0.0);
+        EXPECT_LE(ph.streamFrac, 1.0);
+    }
+    EXPECT_GE(p.footprintBytes, 16ull << 20);
+}
+
+TEST_P(AppProfileTest, SourceHitsConfiguredRates)
+{
+    const AppProfile &p = app();
+    SyntheticTraceSource src(p, 0, 64, 2024);
+    TraceChunk c;
+    std::uint64_t instr = 0, misses = 0, wbs = 0;
+    const std::uint64_t target = 2'000'000;
+    while (instr < target && src.next(c)) {
+        instr += c.instructions + 1;
+        ++misses;
+        if (c.hasWriteback)
+            ++wbs;
+    }
+    double mpki = 1000.0 * static_cast<double>(misses) /
+                  static_cast<double>(instr);
+    double want_mpki = p.averageMpki(target);
+    EXPECT_NEAR(mpki, want_mpki, want_mpki * 0.12 + 0.05)
+        << "mpki mismatch for " << p.name;
+    double wpki = 1000.0 * static_cast<double>(wbs) /
+                  static_cast<double>(instr);
+    double want_wpki = p.averageWpki(target);
+    EXPECT_NEAR(wpki, want_wpki, want_wpki * 0.25 + 0.05)
+        << "wpki mismatch for " << p.name;
+}
+
+TEST_P(AppProfileTest, AddressesWithinFootprint)
+{
+    const AppProfile &p = app();
+    const Addr base = 0x40000000;
+    SyntheticTraceSource src(p, base, 64, 99);
+    TraceChunk c;
+    for (int i = 0; i < 2000 && src.next(c); ++i) {
+        EXPECT_GE(c.missAddr, base);
+        EXPECT_LT(c.missAddr, base + p.footprintBytes);
+        EXPECT_EQ(c.missAddr % 64, 0u);
+    }
+}
+
+TEST_P(AppProfileTest, ScalingPreservesRates)
+{
+    const AppProfile &p = app();
+    AppProfile scaled = scaledProfile(p, 0.05);
+    EXPECT_NEAR(scaled.averageMpki(5'000'000),
+                p.averageMpki(100'000'000),
+                p.averageMpki(100'000'000) * 0.01 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppProfileTest,
+                         ::testing::ValuesIn(allAppNames()),
+                         [](const auto &info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// Mix-level parameterized checks.
+// ---------------------------------------------------------------------
+
+class MixTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    const MixSpec &mix() const { return allMixes()[GetParam()]; }
+};
+
+TEST_P(MixTest, ClassMatchesIntensity)
+{
+    double sum = 0.0;
+    for (const auto &a : mix().apps)
+        sum += appByName(a).averageMpki(canonicalBudget);
+    double avg = sum / 4.0;
+    if (mix().klass == "ILP")
+        EXPECT_LT(avg, 1.0);
+    else if (mix().klass == "MID")
+        EXPECT_TRUE(avg >= 1.0 && avg < 6.0);
+    else
+        EXPECT_GE(avg, 6.0);
+}
+
+TEST_P(MixTest, WpkiApproximatesPaper)
+{
+    double sum = 0.0;
+    for (const auto &a : mix().apps)
+        sum += appByName(a).averageWpki(canonicalBudget);
+    double avg = sum / 4.0;
+    // WPKI values are the loosest-calibrated (see mixes.cc); stay
+    // within a factor-of-two band of Table 1.
+    EXPECT_LT(avg, mix().paperWpki * 2.0 + 0.05) << mix().name;
+    EXPECT_GT(avg, mix().paperWpki * 0.4 - 0.05) << mix().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMixes, MixTest,
+                         ::testing::Range(std::size_t(0),
+                                          std::size_t(12)));

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for common utilities: unit conversions, RNG determinism
+ * and distribution sanity, statistics accumulators, config parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+using namespace memscale;
+
+TEST(Units, Conversions)
+{
+    EXPECT_EQ(nsToTick(1.0), 1000u);
+    EXPECT_EQ(usToTick(1.0), 1000u * 1000);
+    EXPECT_EQ(msToTick(1.0), 1000ull * 1000 * 1000);
+    EXPECT_DOUBLE_EQ(tickToNs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(tickToMs(msToTick(5.0)), 5.0);
+}
+
+TEST(Units, PeriodFromMHz)
+{
+    EXPECT_EQ(periodFromMHz(800.0), 1250u);   // 1.25 ns
+    EXPECT_EQ(periodFromMHz(200.0), 5000u);   // 5 ns
+    EXPECT_EQ(periodFromMHz(4000.0), 250u);   // 4 GHz CPU
+    // 667 MHz is not integral; check rounding is within 1 ps.
+    Tick p = periodFromMHz(667.0);
+    EXPECT_NEAR(static_cast<double>(p), 1.0e6 / 667.0, 0.5);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(0.1));
+    EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Accumulator, Basic)
+{
+    Accumulator a;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+    EXPECT_NEAR(a.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, Empty)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Histogram, BucketsAndPercentiles)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 10.0);
+    h.add(-1.0);
+    h.add(1000.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, InvalidRangeFatal)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
+}
+
+TEST(Config, ParseAndTypes)
+{
+    Config c;
+    const char *argv[] = {"prog", "mix=MEM1", "budget=1000",
+                          "gamma=0.05", "verbose=true", "notakv"};
+    c.parseArgs(6, const_cast<char **>(argv));
+    EXPECT_EQ(c.getString("mix", "x"), "MEM1");
+    EXPECT_EQ(c.getInt("budget", 0), 1000);
+    EXPECT_DOUBLE_EQ(c.getDouble("gamma", 0.0), 0.05);
+    EXPECT_TRUE(c.getBool("verbose", false));
+    EXPECT_EQ(c.getInt("missing", 7), 7);
+}
+
+TEST(Config, BadValuesFatal)
+{
+    Config c;
+    c.set("n", "abc");
+    EXPECT_THROW(c.getInt("n", 0), FatalError);
+    c.set("b", "maybe");
+    EXPECT_THROW(c.getBool("b", false), FatalError);
+}
+
+TEST(Config, EnvOverride)
+{
+    setenv("MEMSCALE_TESTKEY", "99", 1);
+    Config c;
+    EXPECT_EQ(c.getInt("testkey", 1), 99);
+    // Explicit args beat the environment.
+    c.set("testkey", "5");
+    EXPECT_EQ(c.getInt("testkey", 1), 5);
+    unsetenv("MEMSCALE_TESTKEY");
+}

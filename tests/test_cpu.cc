@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Core-model tests: execution timing, stall behaviour, TIC
+ * interpolation, budget completion, halting on exhausted traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "cpu/core.hh"
+#include "mem/controller.hh"
+#include "sim/event_queue.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+/** Scripted trace source for deterministic tests. */
+class ScriptedSource : public TraceSource
+{
+  public:
+    std::deque<TraceChunk> chunks;
+
+    bool
+    next(TraceChunk &chunk) override
+    {
+        if (chunks.empty())
+            return false;
+        chunk = chunks.front();
+        chunks.pop_front();
+        return true;
+    }
+};
+
+TraceChunk
+chunk(std::uint64_t instr, double cpi, Addr addr)
+{
+    TraceChunk c;
+    c.instructions = instr;
+    c.cpi = cpi;
+    c.missAddr = addr;
+    return c;
+}
+
+struct CpuHarness
+{
+    EventQueue eq;
+    MemConfig cfg;
+    MemoryController mc;
+    ScriptedSource src;
+
+    CpuHarness() : mc(eq, cfg) {}
+
+    Core
+    makeCore(std::uint64_t budget)
+    {
+        CoreParams p;
+        p.cpuGHz = 4.0;
+        p.instrBudget = budget;
+        p.runPastBudget = false;
+        return Core(eq, 0, src, mc, p);
+    }
+};
+
+} // namespace
+
+TEST(Core, ComputePhaseTiming)
+{
+    CpuHarness h;
+    // 1000 instructions at CPI 2.0 on a 4 GHz core = 500 ns, then one
+    // miss of known uncontended latency (38.125 ns at 800 MHz).
+    h.src.chunks.push_back(chunk(1000, 2.0, 0));
+    Core core = h.makeCore(1001);
+    core.start();
+    h.eq.runUntil();
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.doneAt(), nsToTick(500.0) + nsToTick(38.125));
+}
+
+TEST(Core, StallTimeEqualsMemoryLatency)
+{
+    CpuHarness h;
+    h.src.chunks.push_back(chunk(100, 1.0, 0));
+    Core core = h.makeCore(101);
+    core.start();
+    h.eq.runUntil();
+    EXPECT_EQ(core.stallTime(), nsToTick(38.125));
+}
+
+TEST(Core, TicInterpolatesWithinChunk)
+{
+    CpuHarness h;
+    h.src.chunks.push_back(chunk(1000, 1.0, 0));   // 250 ns compute
+    Core core = h.makeCore(1001);
+    core.start();
+    h.eq.runUntil(nsToTick(125.0));
+    // Halfway through the compute phase: ~500 instructions.
+    EXPECT_NEAR(static_cast<double>(core.tic(h.eq.now())), 500.0, 5.0);
+}
+
+TEST(Core, TicFrozenDuringStall)
+{
+    CpuHarness h;
+    h.src.chunks.push_back(chunk(100, 1.0, 0));
+    h.src.chunks.push_back(chunk(1000000, 1.0, 64));
+    Core core = h.makeCore(2000000);
+    core.start();
+    // 100 instr = 25 ns compute; at 30 ns the core is stalled.
+    h.eq.runUntil(nsToTick(30.0));
+    EXPECT_EQ(core.tic(h.eq.now()), 100u);
+}
+
+TEST(Core, TlmCountsMisses)
+{
+    CpuHarness h;
+    for (int i = 0; i < 5; ++i)
+        h.src.chunks.push_back(chunk(10, 1.0, 64 * i));
+    Core core = h.makeCore(100);
+    core.start();
+    h.eq.runUntil();
+    EXPECT_EQ(core.tlm(), 5u);
+}
+
+TEST(Core, HaltsWhenTraceExhausted)
+{
+    CpuHarness h;
+    h.src.chunks.push_back(chunk(10, 1.0, 0));
+    Core core = h.makeCore(1000000);   // budget never reached
+    bool done_fired = false;
+    core.setOnDone([&] { done_fired = true; });
+    core.start();
+    h.eq.runUntil();
+    EXPECT_TRUE(done_fired);
+    EXPECT_TRUE(core.done());
+}
+
+TEST(Core, BudgetCpiMatchesTimeline)
+{
+    CpuHarness h;
+    h.src.chunks.push_back(chunk(999, 1.0, 0));
+    Core core = h.makeCore(1000);
+    core.start();
+    h.eq.runUntil();
+    // CPI = total cycles / 1000 instructions.
+    double cycles = static_cast<double>(core.doneAt()) / 250.0;
+    EXPECT_NEAR(core.budgetCpi(), cycles / 1000.0, 1e-9);
+}
+
+TEST(Core, WritebackAccompaniesMiss)
+{
+    CpuHarness h;
+    TraceChunk c = chunk(10, 1.0, 0);
+    c.hasWriteback = true;
+    c.writebackAddr = 4096;
+    h.src.chunks.push_back(c);
+    Core core = h.makeCore(11);
+    core.start();
+    h.eq.runUntil();
+    McCounters mc = h.mc.sampleCounters();
+    EXPECT_EQ(mc.reads, 1u);
+    EXPECT_EQ(mc.writes, 1u);
+}
+
+TEST(Core, ZeroGapChunksIssueImmediately)
+{
+    CpuHarness h;
+    h.src.chunks.push_back(chunk(0, 1.0, 0));
+    h.src.chunks.push_back(chunk(0, 1.0, 64));
+    Core core = h.makeCore(2);
+    core.start();
+    h.eq.runUntil();
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.tlm(), 2u);
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Energy-model (SER) tests: prediction sanity, the system-vs-memory
+ * balance (memory-only predictions always prefer lower frequencies;
+ * system predictions stop when slowdown costs more than memory saves),
+ * and time scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memscale/energy_model.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+ProfileData
+profileWithAlpha(double alpha, double xi = 1.1)
+{
+    ProfileData p;
+    p.windowLen = usToTick(100.0);
+    p.freqDuring = nominalFreqIndex;
+    std::uint64_t instr = 1'000'000;
+    auto misses = static_cast<std::uint64_t>(alpha * instr);
+    p.cores.push_back(CoreSample{instr, misses});
+    p.mc.rbhc = 0;
+    p.mc.cbmc = misses;
+    p.mc.obmc = 0;
+    p.mc.btc = misses ? misses : 1;
+    p.mc.bto = static_cast<std::uint64_t>((xi - 1.0) * p.mc.btc);
+    p.mc.ctc = p.mc.btc;
+    p.mc.cto = (xi - 1.0) * static_cast<double>(p.mc.ctc);
+    p.mc.reads = misses;
+    p.mc.pocc = misses;
+    p.mc.rankTime = p.windowLen * 16;
+    p.mc.rankPreTime = p.windowLen * 16;
+    return p;
+}
+
+PolicyContext
+context(Watts rest)
+{
+    PolicyContext ctx;
+    ctx.restWatts = rest;
+    return ctx;
+}
+
+} // namespace
+
+TEST(EnergyModel, PredictionsArePositive)
+{
+    ProfileData p = profileWithAlpha(0.005);
+    PerfModel perf;
+    perf.calibrate(p);
+    PolicyContext ctx = context(60.0);
+    for (FreqIndex f = 0; f < numFreqPoints; ++f) {
+        EnergyPrediction e = EnergyModel::predict(perf, p, ctx, f);
+        EXPECT_GT(e.timeSec, 0.0);
+        EXPECT_GT(e.memory, 0.0);
+        EXPECT_GT(e.system, e.memory);
+    }
+}
+
+TEST(EnergyModel, TimeGrowsAsFrequencyDrops)
+{
+    ProfileData p = profileWithAlpha(0.01);
+    PerfModel perf;
+    perf.calibrate(p);
+    PolicyContext ctx = context(60.0);
+    double prev = 0.0;
+    for (FreqIndex f = 0; f < numFreqPoints; ++f) {
+        EnergyPrediction e = EnergyModel::predict(perf, p, ctx, f);
+        EXPECT_GE(e.timeSec, prev);
+        prev = e.timeSec;
+    }
+}
+
+TEST(EnergyModel, ComputeBoundWorkloadPrefersLowestFrequency)
+{
+    // Near-zero miss rate: scaling down costs almost nothing and
+    // saves background/MC power, so SER decreases monotonically.
+    ProfileData p = profileWithAlpha(1e-5, 1.0);
+    PerfModel perf;
+    perf.calibrate(p);
+    PolicyContext ctx = context(60.0);
+    double best = 1e30;
+    FreqIndex best_f = 0;
+    for (FreqIndex f = 0; f < numFreqPoints; ++f) {
+        double s = EnergyModel::ser(perf, p, ctx, f);
+        if (s < best) {
+            best = s;
+            best_f = f;
+        }
+    }
+    EXPECT_EQ(best_f, numFreqPoints - 1);
+    EXPECT_LT(best, 0.75);   // substantial predicted savings
+}
+
+TEST(EnergyModel, MemoryBoundWorkloadResistsDeepScaling)
+{
+    // Heavy miss rate + large rest-of-system: the slowdown at the
+    // lowest frequency costs more system energy than memory saves.
+    ProfileData p = profileWithAlpha(0.03, 1.8);
+    PerfModel perf;
+    perf.calibrate(p);
+    PolicyContext ctx = context(120.0);
+    double ser_min_freq =
+        EnergyModel::ser(perf, p, ctx, numFreqPoints - 1);
+    double best = 1e30;
+    for (FreqIndex f = 0; f < numFreqPoints; ++f)
+        best = std::min(best,
+                        EnergyModel::ser(perf, p, ctx, f));
+    EXPECT_GT(ser_min_freq, best);
+}
+
+TEST(EnergyModel, MemoryOnlyMetricIgnoresRestOfSystem)
+{
+    ProfileData p = profileWithAlpha(0.03, 1.8);
+    PerfModel perf;
+    perf.calibrate(p);
+    PolicyContext ctx = context(120.0);
+    // Memory-only SER at the lowest frequency beats nominal even when
+    // the full-system SER does not.
+    double mem_ser = EnergyModel::ser(perf, p, ctx,
+                                      numFreqPoints - 1, true);
+    EXPECT_LT(mem_ser, 1.0);
+}
+
+TEST(EnergyModel, SerIsOneAtNominal)
+{
+    ProfileData p = profileWithAlpha(0.01);
+    PerfModel perf;
+    perf.calibrate(p);
+    PolicyContext ctx = context(60.0);
+    EXPECT_NEAR(EnergyModel::ser(perf, p, ctx, nominalFreqIndex),
+                1.0, 1e-12);
+}
+
+TEST(EnergyModel, HigherRestPowerPenalizesSlowdown)
+{
+    ProfileData p = profileWithAlpha(0.02, 1.5);
+    PerfModel perf;
+    perf.calibrate(p);
+    double ser_low_rest =
+        EnergyModel::ser(perf, p, context(30.0), numFreqPoints - 1);
+    double ser_high_rest =
+        EnergyModel::ser(perf, p, context(200.0), numFreqPoints - 1);
+    EXPECT_GT(ser_high_rest, ser_low_rest);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Epoch-controller tests: profiling/decision/settlement cadence,
+ * snapshot delta arithmetic, and policy invocation, using a counting
+ * stub policy over a minimal live system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/core.hh"
+#include "memscale/epoch_controller.hh"
+#include "workload/trace_source.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+/** Policy stub that records invocations and returns a fixed choice. */
+class RecordingPolicy : public Policy
+{
+  public:
+    std::string name() const override { return "recording"; }
+    bool dynamic() const override { return true; }
+
+    FreqIndex
+    selectFrequency(const ProfileData &profile,
+                    const PolicyContext &, FreqIndex current) override
+    {
+        profiles.push_back(profile);
+        return choice == kKeep ? current : choice;
+    }
+
+    void
+    endEpoch(const ProfileData &epoch, const PolicyContext &) override
+    {
+        epochs.push_back(epoch);
+    }
+
+    static constexpr FreqIndex kKeep = 0xffff;
+    FreqIndex choice = kKeep;
+    std::vector<ProfileData> profiles;
+    std::vector<ProfileData> epochs;
+};
+
+struct EpochHarness
+{
+    EventQueue eq;
+    MemConfig cfg;
+    MemoryController mc;
+    AppProfile app;
+    std::unique_ptr<SyntheticTraceSource> src;
+    std::unique_ptr<Core> core;
+    RecordingPolicy policy;
+    PolicyContext ctx;
+
+    EpochHarness() : mc(eq, cfg)
+    {
+        app.name = "stub";
+        app.phases.push_back(AppPhase{2.0, 0.2, 1.0, 0.5, 0});
+        app.footprintBytes = 8ull << 20;
+        src = std::make_unique<SyntheticTraceSource>(app, 0, 64, 5);
+        CoreParams cp;
+        cp.instrBudget = 1ull << 60;   // run forever
+        core = std::make_unique<Core>(eq, 0, *src, mc, cp);
+        ctx.epochLen = usToTick(100.0);
+        ctx.profileLen = usToTick(10.0);
+    }
+};
+
+} // namespace
+
+TEST(EpochController, EpochCadence)
+{
+    EpochHarness h;
+    EpochController ec(h.eq, h.mc, {h.core.get()}, h.policy, h.ctx);
+    h.core->start();
+    ec.start();
+    h.eq.runUntil(usToTick(1000.0));
+    // 1 ms / 100 us epochs: about 10 epochs; profiling precedes each.
+    EXPECT_GE(ec.epochs(), 8u);
+    EXPECT_LE(ec.epochs(), 11u);
+    EXPECT_GE(h.policy.profiles.size(), ec.epochs());
+}
+
+TEST(EpochController, ProfileWindowLength)
+{
+    EpochHarness h;
+    EpochController ec(h.eq, h.mc, {h.core.get()}, h.policy, h.ctx);
+    h.core->start();
+    ec.start();
+    h.eq.runUntil(usToTick(500.0));
+    ASSERT_FALSE(h.policy.profiles.empty());
+    for (const ProfileData &p : h.policy.profiles)
+        EXPECT_EQ(p.windowLen, usToTick(10.0));
+}
+
+TEST(EpochController, EpochDeltaCoversWholeQuantum)
+{
+    EpochHarness h;
+    EpochController ec(h.eq, h.mc, {h.core.get()}, h.policy, h.ctx);
+    h.core->start();
+    ec.start();
+    h.eq.runUntil(usToTick(500.0));
+    ASSERT_FALSE(h.policy.epochs.empty());
+    for (const ProfileData &e : h.policy.epochs) {
+        EXPECT_GE(e.windowLen, h.ctx.epochLen);
+        ASSERT_EQ(e.cores.size(), 1u);
+        EXPECT_GT(e.cores[0].tic, 0u);
+        EXPECT_GT(e.cores[0].tlm, 0u);
+    }
+}
+
+TEST(EpochController, AppliesPolicyChoice)
+{
+    EpochHarness h;
+    h.policy.choice = 7;   // 333 MHz
+    EpochController ec(h.eq, h.mc, {h.core.get()}, h.policy, h.ctx);
+    h.core->start();
+    ec.start();
+    h.eq.runUntil(usToTick(300.0));
+    EXPECT_EQ(h.mc.busMHz(), 333u);
+    ASSERT_FALSE(ec.history().empty());
+    EXPECT_EQ(ec.history().back().busMHz, 333u);
+}
+
+TEST(EpochController, HistoryHasMeasurements)
+{
+    EpochHarness h;
+    EpochController ec(h.eq, h.mc, {h.core.get()}, h.policy, h.ctx);
+    h.core->start();
+    ec.start();
+    h.eq.runUntil(usToTick(500.0));
+    ASSERT_GE(ec.history().size(), 3u);
+    for (const EpochRecord &r : ec.history()) {
+        EXPECT_GT(r.end, r.start);
+        ASSERT_EQ(r.coreCpi.size(), 1u);
+        EXPECT_GT(r.coreCpi[0], 0.9);   // base CPI 1.0 + memory time
+        EXPECT_GT(r.channelUtil, 0.0);
+    }
+}
+
+TEST(EpochController, CountersMonotonic)
+{
+    EpochHarness h;
+    EpochController ec(h.eq, h.mc, {h.core.get()}, h.policy, h.ctx);
+    h.core->start();
+    ec.start();
+    h.eq.runUntil(usToTick(500.0));
+    for (const ProfileData &e : h.policy.epochs) {
+        EXPECT_GE(e.mc.reads + e.mc.writes, e.cores[0].tlm / 2);
+        EXPECT_GE(e.mc.btc, 1u);
+    }
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the substrate extensions: open-page row management,
+ * FR-FCFS scheduling, per-channel frequency control, and the
+ * per-channel MemScale policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "mem/controller.hh"
+#include "memscale/policies/perchannel_policy.hh"
+#include "sim/event_queue.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+struct Harness
+{
+    EventQueue eq;
+    MemConfig cfg;
+    MemoryController mc;
+
+    explicit Harness(MemConfig c) : cfg(c), mc(eq, cfg) {}
+
+    Addr
+    at(std::uint32_t ch, std::uint32_t rank, std::uint32_t bank,
+       std::uint64_t row, std::uint64_t col = 0)
+    {
+        DecodedAddr d;
+        d.channel = ch;
+        d.rank = rank;
+        d.bank = bank;
+        d.row = row;
+        d.column = col;
+        return mc.addressMap().encode(d);
+    }
+};
+
+} // namespace
+
+TEST(OpenPage, RowStaysOpenAcrossIdleGaps)
+{
+    MemConfig cfg;
+    cfg.pagePolicy = PagePolicy::OpenPage;
+    Harness h(cfg);
+    Tick d1 = 0;
+    h.mc.read(h.at(0, 0, 0, 7, 0), 0, [&](Tick t) { d1 = t; });
+    h.eq.runUntil();
+    h.eq.runUntil(d1 + usToTick(1.0));
+    // The second access to the same row hits even after the idle gap
+    // (closed-page would have precharged it).
+    h.mc.read(h.at(0, 0, 0, 7, 1), 0, [](Tick) {});
+    h.eq.runUntil();
+    McCounters c = h.mc.sampleCounters();
+    EXPECT_EQ(c.rbhc, 1u);
+    EXPECT_EQ(c.cbmc, 1u);
+}
+
+TEST(OpenPage, ConflictPaysOpenMiss)
+{
+    MemConfig cfg;
+    cfg.pagePolicy = PagePolicy::OpenPage;
+    Harness h(cfg);
+    Tick d1 = 0;
+    h.mc.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d1 = t; });
+    h.eq.runUntil();
+    h.mc.read(h.at(0, 0, 0, 2), 0, [](Tick) {});
+    h.eq.runUntil();
+    McCounters c = h.mc.sampleCounters();
+    EXPECT_EQ(c.obmc, 1u);
+}
+
+TEST(FrFcfs, PromotesRowHits)
+{
+    MemConfig cfg;
+    cfg.scheduler = SchedulerPolicy::FrFcfs;
+    Harness h(cfg);
+    // A opens row 1; B (row 2) and C (row 1) queue behind it.
+    // FR-FCFS serves C before B.
+    Tick db = 0, dc = 0;
+    h.mc.read(h.at(0, 0, 0, 1, 0), 0, [](Tick) {});
+    h.mc.read(h.at(0, 0, 0, 2, 0), 1, [&](Tick t) { db = t; });
+    h.mc.read(h.at(0, 0, 0, 1, 1), 2, [&](Tick t) { dc = t; });
+    h.eq.runUntil();
+    EXPECT_LT(dc, db);
+    McCounters c = h.mc.sampleCounters();
+    EXPECT_EQ(c.rbhc, 1u);
+}
+
+TEST(FrFcfs, FcfsKeepsArrivalOrder)
+{
+    MemConfig cfg;   // default FCFS
+    Harness h(cfg);
+    Tick db = 0, dc = 0;
+    h.mc.read(h.at(0, 0, 0, 1, 0), 0, [](Tick) {});
+    h.mc.read(h.at(0, 0, 0, 2, 0), 1, [&](Tick t) { db = t; });
+    h.mc.read(h.at(0, 0, 0, 1, 1), 2, [&](Tick t) { dc = t; });
+    h.eq.runUntil();
+    EXPECT_LT(db, dc);
+}
+
+TEST(PerChannelFreq, IndependentRelock)
+{
+    MemConfig cfg;
+    Harness h(cfg);
+    h.mc.setChannelFrequency(2, 9);   // channel 2 to 200 MHz
+    EXPECT_EQ(h.mc.channelFrequency(2), 9u);
+    EXPECT_EQ(h.mc.channelFrequency(0), 0u);
+    // MC domain reports the fastest channel.
+    EXPECT_EQ(h.mc.frequency(), 0u);
+    EXPECT_EQ(h.mc.busMHz(), 800u);
+
+    // Latency differs per channel accordingly.
+    Tick d_fast = 0, d_slow = 0;
+    h.mc.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d_fast = t; });
+    h.eq.runUntil();
+    Tick t0 = h.eq.now();
+    h.mc.read(h.at(2, 0, 0, 1), 0, [&](Tick t) { d_slow = t; });
+    h.eq.runUntil();
+    EXPECT_GT(d_slow - t0, d_fast);
+}
+
+TEST(PerChannelFreq, ActivitySampleCarriesPerChannelClocks)
+{
+    MemConfig cfg;
+    Harness h(cfg);
+    h.mc.setChannelFrequency(1, 5);
+    IntervalActivity ia = h.mc.sampleActivity();
+    ASSERT_EQ(ia.channelMHz.size(), 4u);
+    EXPECT_EQ(ia.channelMHz[0], 800u);
+    EXPECT_EQ(ia.channelMHz[1], 467u);
+}
+
+TEST(PerChannelFreq, SetFrequencyRealignsAllChannels)
+{
+    MemConfig cfg;
+    Harness h(cfg);
+    h.mc.setChannelFrequency(1, 9);
+    h.mc.setFrequency(3);
+    for (std::uint32_t c = 0; c < 4; ++c)
+        EXPECT_EQ(h.mc.channelFrequency(c), 3u);
+}
+
+TEST(PerChannelPolicy, RunsAndRespectsBound)
+{
+    SystemConfig cfg;
+    cfg.mixName = "MID1";
+    cfg.instrBudget = 1'000'000;
+    cfg.epochLen = msToTick(0.1);
+    cfg.profileLen = usToTick(10.0);
+    ComparisonResult r = compare(cfg, "memscale-perchannel");
+    EXPECT_GT(r.memEnergySavings, 0.10);
+    EXPECT_LE(r.worstCpiIncrease, cfg.gamma + 0.02);
+}
+
+TEST(PerChannelPolicy, ComparableToLockstepOnSymmetricTraffic)
+{
+    SystemConfig cfg;
+    cfg.mixName = "MID4";
+    cfg.instrBudget = 1'000'000;
+    cfg.epochLen = msToTick(0.1);
+    cfg.profileLen = usToTick(10.0);
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    ComparisonResult lock =
+        compareWithBase(cfg, base, rest, "memscale");
+    ComparisonResult per =
+        compareWithBase(cfg, base, rest, "memscale-perchannel");
+    EXPECT_GT(per.sysEnergySavings, lock.sysEnergySavings - 0.05);
+}
+
+TEST(PerChannelPolicy, FactoryAndFlags)
+{
+    auto p = makePolicy("memscale-perchannel");
+    EXPECT_TRUE(p->dynamic());
+    EXPECT_EQ(p->name(), "memscale-perchannel");
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * End-to-end integration tests over the experiment harness: baseline
+ * calibration, policy behaviours (MemScale savings and bound
+ * compliance, Fast-PD vs Slow-PD, Decoupled), determinism, and epoch
+ * dynamics.  Budgets are kept small so the suite stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "workload/mixes.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+SystemConfig
+smallConfig(const std::string &mix)
+{
+    SystemConfig cfg;
+    cfg.mixName = mix;
+    cfg.instrBudget = 1'000'000;
+    cfg.epochLen = msToTick(0.1);
+    cfg.profileLen = usToTick(10.0);
+    return cfg;
+}
+
+} // namespace
+
+TEST(Integration, BaselineCalibrationHitsMemoryFraction)
+{
+    SystemConfig cfg = smallConfig("MID1");
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    EXPECT_GT(rest, 0.0);
+    double frac = base.avgMemPower / base.avgSystemPower;
+    EXPECT_NEAR(frac, cfg.memPowerFraction, 0.01);
+    EXPECT_FALSE(base.hitTimeLimit);
+    EXPECT_EQ(base.coreCpi.size(), 16u);
+    for (double cpi : base.coreCpi)
+        EXPECT_GT(cpi, 0.5);
+}
+
+TEST(Integration, MemScaleSavesEnergyWithinBound)
+{
+    SystemConfig cfg = smallConfig("MID1");
+    ComparisonResult r = compare(cfg, "memscale");
+    EXPECT_GT(r.memEnergySavings, 0.15);
+    EXPECT_GT(r.sysEnergySavings, 0.0);
+    EXPECT_LE(r.worstCpiIncrease, cfg.gamma + 0.02);
+}
+
+TEST(Integration, IlpWorkloadScalesToMinimumFrequency)
+{
+    SystemConfig cfg = smallConfig("ILP2");
+    cfg.instrBudget = 2'000'000;
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    RunResult ms = runPolicy(cfg, "memscale", rest);
+    ASSERT_FALSE(ms.timeline.empty());
+    // After the first decision, ILP mixes sit at the lowest frequency.
+    EXPECT_EQ(ms.timeline.back().busMHz, 200u);
+    EXPECT_LT(ms.energy.memorySubsystem(),
+              base.energy.memorySubsystem() * 0.5);
+}
+
+TEST(Integration, FastPdSavesSlowPdHurtsPerformance)
+{
+    SystemConfig cfg = smallConfig("MID2");
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    ComparisonResult fast = compareWithBase(cfg, base, rest, "fastpd");
+    ComparisonResult slow = compareWithBase(cfg, base, rest, "slowpd");
+    EXPECT_GT(fast.memEnergySavings, 0.0);
+    EXPECT_LT(fast.worstCpiIncrease, 0.05);
+    EXPECT_GT(slow.worstCpiIncrease, fast.worstCpiIncrease);
+}
+
+TEST(Integration, DecoupledCutsDramOnly)
+{
+    SystemConfig cfg = smallConfig("MID1");
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    ComparisonResult dec =
+        compareWithBase(cfg, base, rest, "decoupled");
+    // DRAM energy shrinks...
+    EXPECT_LT(dec.policy.energy.dram(), base.energy.dram());
+    // ...but PLL/reg and MC energy do not improve (runtime stretches).
+    EXPECT_GE(dec.policy.energy.pllReg, base.energy.pllReg * 0.99);
+    EXPECT_GE(dec.policy.energy.mc, base.energy.mc * 0.99);
+}
+
+TEST(Integration, StaticBeatsDecoupled)
+{
+    SystemConfig cfg = smallConfig("MID1");
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    ComparisonResult st = compareWithBase(cfg, base, rest, "static");
+    ComparisonResult dec =
+        compareWithBase(cfg, base, rest, "decoupled");
+    EXPECT_GT(st.sysEnergySavings, dec.sysEnergySavings);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    SystemConfig cfg = smallConfig("MID3");
+    ComparisonResult a = compare(cfg, "memscale");
+    ComparisonResult b = compare(cfg, "memscale");
+    EXPECT_EQ(a.policy.runtime, b.policy.runtime);
+    EXPECT_EQ(a.base.runtime, b.base.runtime);
+    EXPECT_DOUBLE_EQ(a.policy.energy.total(),
+                     b.policy.energy.total());
+}
+
+TEST(Integration, SeedChangesRuntime)
+{
+    SystemConfig cfg = smallConfig("MID3");
+    Watts rest = 0.0;
+    RunResult a = runBaseline(cfg, rest);
+    cfg.seed = 999;
+    RunResult b = runBaseline(cfg, rest);
+    EXPECT_NE(a.runtime, b.runtime);
+}
+
+TEST(Integration, EpochTimelineRecorded)
+{
+    SystemConfig cfg = smallConfig("MID1");
+    cfg.instrBudget = 2'000'000;
+    ComparisonResult r = compare(cfg, "memscale");
+    ASSERT_GE(r.policy.timeline.size(), 2u);
+    for (const EpochRecord &er : r.policy.timeline) {
+        EXPECT_GT(er.busMHz, 0u);
+        EXPECT_GE(er.channelUtil, 0.0);
+        EXPECT_LE(er.channelUtil, 1.0);
+        EXPECT_EQ(er.coreCpi.size(), 16u);
+    }
+}
+
+TEST(Integration, TwoChannelConfigRuns)
+{
+    SystemConfig cfg = smallConfig("MID1");
+    cfg.mem.numChannels = 2;
+    ComparisonResult r = compare(cfg, "memscale");
+    EXPECT_GT(r.memEnergySavings, 0.0);
+    EXPECT_LE(r.worstCpiIncrease, cfg.gamma + 0.02);
+}
+
+TEST(Integration, EightCoreConfigRuns)
+{
+    SystemConfig cfg = smallConfig("MEM4");
+    cfg.numCores = 8;
+    ComparisonResult r = compare(cfg, "memscale");
+    EXPECT_EQ(r.policy.coreCpi.size(), 8u);
+    EXPECT_GT(r.memEnergySavings, 0.0);
+}
+
+TEST(Integration, MemScaleFastPdCombination)
+{
+    SystemConfig cfg = smallConfig("MID1");
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    ComparisonResult ms = compareWithBase(cfg, base, rest, "memscale");
+    ComparisonResult combo =
+        compareWithBase(cfg, base, rest, "memscale-fastpd");
+    // The combination must not be materially worse than MemScale.
+    EXPECT_GT(combo.memEnergySavings, ms.memEnergySavings - 0.05);
+}
+
+TEST(Integration, EnergyBreakdownConsistent)
+{
+    SystemConfig cfg = smallConfig("MID1");
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    const EnergyBreakdown &e = base.energy;
+    EXPECT_NEAR(e.total(),
+                e.background + e.actPre + e.readWrite +
+                    e.termination + e.refresh + e.pllReg + e.mc +
+                    e.rest,
+                e.total() * 1e-12);
+    EXPECT_GT(e.background, 0.0);
+    EXPECT_GT(e.actPre, 0.0);
+    EXPECT_GT(e.readWrite, 0.0);
+    EXPECT_GT(e.refresh, 0.0);
+    EXPECT_GT(e.mc, 0.0);
+}
+
+TEST(Integration, RpkiMeasurementSane)
+{
+    SystemConfig cfg = smallConfig("MEM2");
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    const MixSpec &mix = mixByName("MEM2");
+    EXPECT_NEAR(base.measuredRpki, mix.paperRpki,
+                mix.paperRpki * 0.25);
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Performance-model tests: Eq. 6 device-time estimation, Eq. 9
+ * composition, per-core calibration, and frequency monotonicity
+ * properties (parameterized across the grid).
+ */
+
+#include <gtest/gtest.h>
+
+#include "memscale/perf_model.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+/** Profile with hand-set counters at the nominal frequency. */
+ProfileData
+makeProfile()
+{
+    ProfileData p;
+    p.windowLen = usToTick(100.0);
+    p.freqDuring = nominalFreqIndex;
+    // 1000 accesses: 100 hits, 800 closed misses, 100 open misses,
+    // 50 powerdown exits.
+    p.mc.rbhc = 100;
+    p.mc.cbmc = 800;
+    p.mc.obmc = 100;
+    p.mc.epdc = 50;
+    p.mc.btc = 1000;
+    p.mc.bto = 500;    // xi_bank = 1.5
+    p.mc.ctc = 1000;
+    p.mc.cto = 250.0;  // xi_bus = 1.25
+    p.mc.reads = 900;
+    p.mc.writes = 100;
+    p.mc.rankTime = usToTick(100.0) * 16;
+    p.mc.rankPreTime = usToTick(60.0) * 16;
+    // Two cores: one memory-heavy, one compute-heavy.
+    p.cores.push_back(CoreSample{100'000, 1'000});
+    p.cores.push_back(CoreSample{400'000, 40});
+    return p;
+}
+
+} // namespace
+
+TEST(PerfModel, DeviceTimeEq6)
+{
+    PerfModel m;
+    m.calibrate(makeProfile());
+    const TimingParams &tp = TimingParams::at(0);
+    double tCL = tickToSec(tp.tCL);
+    double tRCD = tickToSec(tp.tRCD);
+    double tRP = tickToSec(tp.tRP);
+    double tXP = tickToSec(tp.tXP);
+    double expected = (100 * tCL + 800 * (tRCD + tCL) +
+                       100 * (tRP + tRCD + tCL) + 50 * tXP) / 1000.0;
+    EXPECT_NEAR(m.tDevice(), expected, expected * 1e-12);
+}
+
+TEST(PerfModel, XiFactors)
+{
+    PerfModel m;
+    m.calibrate(makeProfile());
+    EXPECT_NEAR(m.xiBank(), 1.5, 1e-12);
+    EXPECT_NEAR(m.xiBus(), 1.25, 1e-12);
+}
+
+TEST(PerfModel, TpiMemEq9Composition)
+{
+    PerfModel m;
+    m.calibrate(makeProfile());
+    const TimingParams &tp = TimingParams::at(3);   // 600 MHz
+    double expected = 1.5 * (tickToSec(tp.tMC) + m.tDevice() +
+                             1.25 * tickToSec(tp.tBURST));
+    EXPECT_NEAR(m.tpiMem(3), expected, expected * 1e-12);
+}
+
+TEST(PerfModel, AlphaPerCore)
+{
+    PerfModel m;
+    m.calibrate(makeProfile());
+    EXPECT_NEAR(m.alpha(0), 0.01, 1e-12);
+    EXPECT_NEAR(m.alpha(1), 1e-4, 1e-12);
+}
+
+TEST(PerfModel, MeasuredCpiRecoveredAtProfilingFrequency)
+{
+    PerfModel m;
+    ProfileData p = makeProfile();
+    m.calibrate(p);
+    // Predicting at the profiling frequency must reproduce the
+    // measured CPI: window / instructions.
+    for (std::uint32_t c = 0; c < 2; ++c) {
+        double measured_tpi =
+            tickToSec(p.windowLen) /
+            static_cast<double>(p.cores[c].tic);
+        EXPECT_NEAR(m.tpi(c, p.freqDuring), measured_tpi,
+                    measured_tpi * 1e-9);
+    }
+}
+
+TEST(PerfModel, MemoryHeavyCoreMoreSensitive)
+{
+    PerfModel m;
+    m.calibrate(makeProfile());
+    double slow0 = m.tpi(0, 9) / m.tpi(0, 0);
+    double slow1 = m.tpi(1, 9) / m.tpi(1, 0);
+    EXPECT_GT(slow0, slow1);
+    EXPECT_GT(slow0, 1.0);
+}
+
+TEST(PerfModel, InactiveCoreDetection)
+{
+    PerfModel m;
+    ProfileData p = makeProfile();
+    p.cores.push_back(CoreSample{0, 0});   // finished core
+    m.calibrate(p);
+    EXPECT_TRUE(m.active(0));
+    EXPECT_FALSE(m.active(2));
+    EXPECT_DOUBLE_EQ(m.coreTime(2, 0), 0.0);
+}
+
+TEST(PerfModel, EmptyCountersFallBack)
+{
+    PerfModel m;
+    ProfileData p;
+    p.windowLen = usToTick(10.0);
+    p.freqDuring = nominalFreqIndex;
+    p.cores.push_back(CoreSample{1000, 0});
+    m.calibrate(p);
+    EXPECT_DOUBLE_EQ(m.xiBank(), 1.0);
+    EXPECT_DOUBLE_EQ(m.xiBus(), 1.0);
+    // Idle default device time: closed-bank access.
+    const TimingParams &tp = TimingParams::at(0);
+    EXPECT_NEAR(m.tDevice(), tickToSec(tp.tRCD + tp.tCL), 1e-15);
+}
+
+class PerfModelSweep : public ::testing::TestWithParam<FreqIndex>
+{
+};
+
+TEST_P(PerfModelSweep, TpiMemMonotoneNonDecreasingWithSlowdown)
+{
+    FreqIndex f = GetParam();
+    if (f == 0)
+        return;
+    PerfModel m;
+    m.calibrate(makeProfile());
+    EXPECT_GE(m.tpiMem(f), m.tpiMem(f - 1));
+}
+
+TEST_P(PerfModelSweep, CpiAboveCpuFloor)
+{
+    PerfModel m;
+    m.calibrate(makeProfile());
+    for (std::uint32_t c = 0; c < 2; ++c)
+        EXPECT_GT(m.cpi(c, GetParam()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFrequencies, PerfModelSweep,
+                         ::testing::Range(FreqIndex(0),
+                                          numFreqPoints));

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Power-model tests: parameter scaling laws (paper Section 2.2), the
+ * Micron-style rank energy model, and the system energy integrator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/dram_power.hh"
+#include "power/params.hh"
+#include "power/system_power.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+RankActivity
+standbyWindow(Tick total, Tick pre)
+{
+    RankActivity a;
+    a.totalTime = total;
+    a.preStandbyTime = pre;
+    a.actStandbyTime = total - pre;
+    return a;
+}
+
+} // namespace
+
+TEST(PowerParams, McVoltageRange)
+{
+    PowerParams pp;
+    EXPECT_DOUBLE_EQ(pp.mcVoltage(800), 1.20);
+    EXPECT_DOUBLE_EQ(pp.mcVoltage(200), 0.65);
+    double mid = pp.mcVoltage(500);
+    EXPECT_GT(mid, 0.65);
+    EXPECT_LT(mid, 1.20);
+}
+
+TEST(PowerParams, McPowerVsquaredF)
+{
+    PowerParams pp;
+    // At nominal V/f and full utilization: peak power.
+    EXPECT_NEAR(pp.mcPower(800, 1.0), 15.0, 1e-9);
+    // At nominal V/f and idle: proportionality * peak.
+    EXPECT_NEAR(pp.mcPower(800, 0.0), 7.5, 1e-9);
+    // At the lowest point: (0.65/1.2)^2 * (200/800) ~ 7.3% of nominal.
+    double scale = (0.65 / 1.2) * (0.65 / 1.2) * 0.25;
+    EXPECT_NEAR(pp.mcPower(200, 1.0), 15.0 * scale, 1e-9);
+    // Cubic-ish: much more than linear savings.
+    EXPECT_LT(pp.mcPower(200, 1.0), 15.0 * 0.25);
+}
+
+TEST(PowerParams, RegisterAndPllScaleLinearly)
+{
+    PowerParams pp;
+    EXPECT_NEAR(pp.pllPower(800), 0.5, 1e-12);
+    EXPECT_NEAR(pp.pllPower(400), 0.25, 1e-12);
+    EXPECT_NEAR(pp.registerPower(800, 1.0), 0.5, 1e-12);
+    EXPECT_NEAR(pp.registerPower(800, 0.0), 0.25, 1e-12);
+    EXPECT_NEAR(pp.registerPower(400, 0.0), 0.125, 1e-12);
+}
+
+TEST(PowerParams, ProportionalityKnob)
+{
+    PowerParams pp;
+    pp.proportionality = 1.0;    // no proportionality
+    EXPECT_NEAR(pp.mcPower(800, 0.0), 15.0, 1e-9);
+    pp.proportionality = 0.0;    // perfect proportionality
+    EXPECT_NEAR(pp.mcPower(800, 0.0), 0.0, 1e-9);
+    EXPECT_NEAR(pp.mcPower(800, 0.5), 7.5, 1e-9);
+}
+
+TEST(RankEnergy, StandbyBackgroundMatchesHandComputation)
+{
+    PowerParams pp;
+    const TimingParams &tp = TimingParams::at(0);
+    // 1 ms entirely in precharge standby.
+    RankActivity a = standbyWindow(msToTick(1.0), msToTick(1.0));
+    RankEnergy e = rankEnergy(a, tp, pp, 0);
+    double expect = pp.vdd * pp.iPreStandby * 9 * 1e-3;
+    EXPECT_NEAR(e.background, expect, expect * 1e-9);
+    EXPECT_DOUBLE_EQ(e.actPre, 0.0);
+    EXPECT_DOUBLE_EQ(e.readWrite, 0.0);
+}
+
+TEST(RankEnergy, BackgroundScalesWithFrequency)
+{
+    PowerParams pp;
+    RankActivity a = standbyWindow(msToTick(1.0), msToTick(1.0));
+    RankEnergy hi = rankEnergy(a, TimingParams::at(0), pp, 0);
+    RankEnergy lo = rankEnergy(a, TimingParams::at(9), pp, 0);
+    EXPECT_NEAR(lo.background / hi.background, 200.0 / 800.0, 1e-9);
+}
+
+TEST(RankEnergy, PowerdownCheaperThanStandby)
+{
+    PowerParams pp;
+    const TimingParams &tp = TimingParams::at(0);
+    RankActivity standby = standbyWindow(msToTick(1.0), msToTick(1.0));
+    RankActivity pd;
+    pd.totalTime = msToTick(1.0);
+    pd.prePowerdownTime = msToTick(1.0);
+    RankActivity slow = pd;
+    slow.slowPowerdownTime = msToTick(1.0);
+    double e_stby = rankEnergy(standby, tp, pp, 0).background;
+    double e_fast = rankEnergy(pd, tp, pp, 0).background;
+    double e_slow = rankEnergy(slow, tp, pp, 0).background;
+    EXPECT_LT(e_fast, e_stby);
+    EXPECT_LT(e_slow, e_fast);
+}
+
+TEST(RankEnergy, ActPreEnergyPerOperationIsFrequencyInvariant)
+{
+    PowerParams pp;
+    RankActivity a;
+    a.totalTime = msToTick(1.0);
+    a.preStandbyTime = a.totalTime;
+    a.actPreCount = 1000;
+    double hi = rankEnergy(a, TimingParams::at(0), pp, 0).actPre;
+    double lo = rankEnergy(a, TimingParams::at(9), pp, 0).actPre;
+    EXPECT_NEAR(hi, lo, hi * 1e-12);
+    EXPECT_GT(hi, 0.0);
+}
+
+TEST(RankEnergy, ReadWriteEnergyTracksBurstTime)
+{
+    PowerParams pp;
+    const TimingParams &tp = TimingParams::at(0);
+    RankActivity a = standbyWindow(msToTick(1.0), 0);
+    a.readBursts = 1000;
+    a.readBurstTime = 1000 * tp.tBURST;
+    double e1 = rankEnergy(a, tp, pp, 0).readWrite;
+    a.readBurstTime *= 2;
+    double e2 = rankEnergy(a, tp, pp, 0).readWrite;
+    EXPECT_NEAR(e2, 2.0 * e1, e1 * 1e-9);
+}
+
+TEST(RankEnergy, TerminationFromOtherRanks)
+{
+    PowerParams pp;
+    const TimingParams &tp = TimingParams::at(0);
+    RankActivity a = standbyWindow(msToTick(1.0), msToTick(1.0));
+    RankEnergy none = rankEnergy(a, tp, pp, 0);
+    RankEnergy some = rankEnergy(a, tp, pp, usToTick(100.0));
+    EXPECT_DOUBLE_EQ(none.termination, 0.0);
+    double expect = 9 * pp.termOtherRankW * 100e-6;
+    EXPECT_NEAR(some.termination, expect, expect * 1e-9);
+}
+
+TEST(RankEnergy, RefreshEnergyCounts)
+{
+    PowerParams pp;
+    const TimingParams &tp = TimingParams::at(0);
+    RankActivity a = standbyWindow(msToTick(1.0), msToTick(1.0));
+    a.refreshes = 128;
+    RankEnergy e = rankEnergy(a, tp, pp, 0);
+    double per = pp.vdd * (pp.iRefresh - pp.iPreStandby) * 9 *
+                 tickToSec(tp.tRFC);
+    EXPECT_NEAR(e.refresh, per * 128, per * 1e-6);
+}
+
+TEST(SystemIntegrator, AccumulatesIntervals)
+{
+    PowerParams pp;
+    SystemEnergyIntegrator integ(pp, 50.0);
+    IntervalActivity ia;
+    ia.dt = msToTick(1.0);
+    ia.busMHz = 800;
+    ia.ranksPerChannel = 4;
+    ia.numDimms = 8;
+    ia.ranks.assign(16, standbyWindow(msToTick(1.0), msToTick(1.0)));
+    ia.channelBurst.assign(4, 0);
+    integ.addInterval(ia);
+    EXPECT_EQ(integ.elapsed(), msToTick(1.0));
+    // Rest-of-system: 50 W for 1 ms.
+    EXPECT_NEAR(integ.energy().rest, 0.05, 1e-9);
+    // Background: 144 chips standby.
+    double bg = pp.vdd * pp.iPreStandby * 9 * 16 * 1e-3;
+    EXPECT_NEAR(integ.energy().background, bg, bg * 1e-9);
+    // Average power is total/elapsed.
+    EXPECT_NEAR(integ.averagePower(),
+                integ.energy().total() / 1e-3, 1e-6);
+}
+
+TEST(SystemIntegrator, DecoupledDeviceFrequency)
+{
+    PowerParams pp;
+    SystemEnergyIntegrator chan800(pp, 0.0), dev400(pp, 0.0);
+    IntervalActivity ia;
+    ia.dt = msToTick(1.0);
+    ia.busMHz = 800;
+    ia.ranksPerChannel = 4;
+    ia.numDimms = 8;
+    ia.ranks.assign(16, standbyWindow(msToTick(1.0), msToTick(1.0)));
+    ia.channelBurst.assign(4, 0);
+    chan800.addInterval(ia);
+    ia.deviceBusMHz = 400;
+    dev400.addInterval(ia);
+    // DRAM background halves; PLL/reg/MC stay at channel frequency.
+    EXPECT_NEAR(dev400.energy().background,
+                chan800.energy().background / 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(dev400.energy().pllReg,
+                     chan800.energy().pllReg);
+    EXPECT_DOUBLE_EQ(dev400.energy().mc, chan800.energy().mc);
+}
+
+TEST(EnergyBreakdown, Arithmetic)
+{
+    EnergyBreakdown a;
+    a.background = 1;
+    a.mc = 2;
+    a.rest = 3;
+    EnergyBreakdown b = a;
+    b += a;
+    EXPECT_DOUBLE_EQ(b.background, 2);
+    EXPECT_DOUBLE_EQ(b.total(), 12);
+    EnergyBreakdown d = b - a;
+    EXPECT_DOUBLE_EQ(d.total(), a.total());
+    EXPECT_DOUBLE_EQ(a.memorySubsystem(), 3);
+    EXPECT_DOUBLE_EQ(a.dimm(), 1);
+}

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Property-based sweeps over the memory system and the models:
+ * randomized traffic through every (page policy x scheduler x
+ * frequency) combination with invariant checks, an event-queue stress
+ * test against a reference implementation, and cross-frequency model
+ * invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/controller.hh"
+#include "memscale/perf_model.hh"
+#include "power/dram_power.hh"
+#include "sim/event_queue.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+struct TrafficResult
+{
+    std::uint64_t completedReads = 0;
+    std::uint64_t completedWrites = 0;
+    Tick minLatency = MaxTick;
+    Tick maxLatency = 0;
+    Tick lastDone = 0;
+    McCounters counters;
+};
+
+/** Drive `n` random requests through a controller configuration. */
+TrafficResult
+runRandomTraffic(MemConfig cfg, FreqIndex freq, std::uint64_t n,
+                 std::uint64_t seed, bool with_refresh = true,
+                 PowerdownMode pd = PowerdownMode::None)
+{
+    EventQueue eq;
+    MemoryController mc(eq, cfg, freq);
+    mc.setPowerdownMode(pd);
+    if (with_refresh)
+        mc.startRefresh();
+
+    TrafficResult res;
+    Rng rng(seed);
+    Tick t = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        // Arrivals spread over time with bursts.
+        t += rng.below(3) == 0 ? 0 : rng.below(nsToTick(200.0));
+        Addr addr = (rng.next() % cfg.totalBytes()) & ~Addr(63);
+        bool is_write = rng.chance(0.2);
+        eq.schedule(t, [&, addr, is_write] {
+            if (is_write) {
+                mc.writeback(addr, 0);
+            } else {
+                Tick issued = eq.now();
+                mc.read(addr, 0, [&, issued](Tick done) {
+                    ++res.completedReads;
+                    Tick lat = done - issued;
+                    res.minLatency = std::min(res.minLatency, lat);
+                    res.maxLatency = std::max(res.maxLatency, lat);
+                    res.lastDone = std::max(res.lastDone, done);
+                });
+            }
+        });
+    }
+    eq.runUntil(t + msToTick(10.0));
+    res.counters = mc.sampleCounters();
+    res.completedWrites = res.counters.writes;
+    return res;
+}
+
+using ComboParam =
+    std::tuple<int /*page*/, int /*sched*/, FreqIndex>;
+
+class MemSystemProperty
+    : public ::testing::TestWithParam<ComboParam>
+{
+  protected:
+    MemConfig
+    makeConfig() const
+    {
+        MemConfig cfg;
+        cfg.pagePolicy = std::get<0>(GetParam()) == 0
+                             ? PagePolicy::ClosedPage
+                             : PagePolicy::OpenPage;
+        cfg.scheduler = std::get<1>(GetParam()) == 0
+                            ? SchedulerPolicy::Fcfs
+                            : SchedulerPolicy::FrFcfs;
+        return cfg;
+    }
+
+    FreqIndex freq() const { return std::get<2>(GetParam()); }
+};
+
+} // namespace
+
+TEST_P(MemSystemProperty, AllRequestsComplete)
+{
+    TrafficResult r =
+        runRandomTraffic(makeConfig(), freq(), 2000, 42);
+    EXPECT_EQ(r.completedReads, r.counters.reads);
+    EXPECT_EQ(r.completedReads + r.completedWrites, 2000u);
+}
+
+TEST_P(MemSystemProperty, LatencyBounds)
+{
+    TrafficResult r =
+        runRandomTraffic(makeConfig(), freq(), 2000, 43);
+    const TimingParams &tp = TimingParams::at(freq());
+    // No read can beat a row hit with zero queueing.
+    EXPECT_GE(r.minLatency, tp.tMC + tp.tCL + tp.tBURST);
+    // And none should exceed a very generous bound (deadlock guard).
+    EXPECT_LT(r.maxLatency, usToTick(50.0));
+}
+
+TEST_P(MemSystemProperty, RowOutcomeAccounting)
+{
+    TrafficResult r =
+        runRandomTraffic(makeConfig(), freq(), 2000, 44);
+    // Every serviced request is classified exactly once.
+    EXPECT_EQ(r.counters.rbhc + r.counters.obmc + r.counters.cbmc,
+              r.counters.reads + r.counters.writes);
+    // Activations match page open/close pairs.
+    EXPECT_EQ(r.counters.pocc,
+              r.counters.cbmc + r.counters.obmc);
+}
+
+TEST_P(MemSystemProperty, QueueCountersConsistent)
+{
+    TrafficResult r =
+        runRandomTraffic(makeConfig(), freq(), 2000, 45);
+    EXPECT_EQ(r.counters.btc, 2000u);
+    EXPECT_EQ(r.counters.ctc, 2000u);
+    EXPECT_GE(r.counters.xiBank(), 1.0);
+    EXPECT_GE(r.counters.xiBus(), 1.0);
+}
+
+TEST_P(MemSystemProperty, BusTimeMatchesBursts)
+{
+    TrafficResult r = runRandomTraffic(makeConfig(), freq(), 1000, 46);
+    const TimingParams &tp = TimingParams::at(freq());
+    EXPECT_EQ(r.counters.busBusyTime,
+              (r.counters.reads + r.counters.writes) * tp.tBURST);
+}
+
+TEST_P(MemSystemProperty, DeterministicReplay)
+{
+    TrafficResult a = runRandomTraffic(makeConfig(), freq(), 800, 47);
+    TrafficResult b = runRandomTraffic(makeConfig(), freq(), 800, 47);
+    EXPECT_EQ(a.lastDone, b.lastDone);
+    EXPECT_EQ(a.maxLatency, b.maxLatency);
+    EXPECT_DOUBLE_EQ(a.counters.cto, b.counters.cto);
+}
+
+TEST_P(MemSystemProperty, PowerdownDoesNotLoseRequests)
+{
+    TrafficResult r = runRandomTraffic(makeConfig(), freq(), 1500, 48,
+                                       true, PowerdownMode::FastExit);
+    EXPECT_EQ(r.completedReads + r.completedWrites, 1500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, MemSystemProperty,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                       ::testing::Values(FreqIndex(0), FreqIndex(5),
+                                         FreqIndex(9))));
+
+TEST(MemSystemProperty, RankStateTimesSumToTotal)
+{
+    TrafficResult r = runRandomTraffic(MemConfig(), 0, 3000, 49, true,
+                                       PowerdownMode::FastExit);
+    const McCounters &c = r.counters;
+    EXPECT_GT(c.rankTime, 0u);
+    EXPECT_LE(c.rankPreTime, c.rankTime);
+    EXPECT_LE(c.rankPrePdTime, c.rankPreTime);
+}
+
+// ---------------------------------------------------------------------
+// Event-queue stress test against a straightforward reference model.
+// ---------------------------------------------------------------------
+
+TEST(EventQueueStress, MatchesReferenceOrdering)
+{
+    EventQueue eq;
+    Rng rng(1234);
+    std::vector<std::pair<Tick, int>> fired;
+    // Reference: (time, id) pairs sorted stably by time.
+    std::vector<std::pair<Tick, int>> expected;
+    std::vector<EventId> ids;
+    int tag = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 40; ++i) {
+            Tick when = rng.below(100000);
+            int t = tag++;
+            ids.push_back(eq.schedule(when, [&fired, when, t] {
+                fired.emplace_back(when, t);
+            }));
+            expected.emplace_back(when, t);
+        }
+        // Cancel a random subset of everything still pending.
+        for (int i = 0; i < 5; ++i) {
+            std::size_t victim = rng.below(ids.size());
+            if (eq.cancel(ids[victim])) {
+                int vt = static_cast<int>(victim);
+                std::erase_if(expected, [&](const auto &p) {
+                    return p.second == vt;
+                });
+            }
+        }
+    }
+    eq.runUntil();
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         if (a.first != b.first)
+                             return a.first < b.first;
+                         return a.second < b.second;
+                     });
+    ASSERT_EQ(fired.size(), expected.size());
+    EXPECT_EQ(fired, expected);
+}
+
+// ---------------------------------------------------------------------
+// Cross-frequency model invariants on random counter profiles.
+// ---------------------------------------------------------------------
+
+TEST(ModelProperty, TpiMemMonotoneForRandomProfiles)
+{
+    Rng rng(777);
+    for (int trial = 0; trial < 50; ++trial) {
+        ProfileData p;
+        p.windowLen = usToTick(100.0);
+        p.freqDuring = static_cast<FreqIndex>(rng.below(10));
+        std::uint64_t accesses = 100 + rng.below(100000);
+        p.mc.rbhc = rng.below(accesses / 4 + 1);
+        p.mc.obmc = rng.below(accesses / 8 + 1);
+        p.mc.cbmc = accesses - p.mc.rbhc - p.mc.obmc;
+        p.mc.btc = accesses;
+        p.mc.bto = rng.below(accesses * 3);
+        p.mc.ctc = accesses;
+        p.mc.cto = rng.uniform() * accesses * 2;
+        p.cores.push_back(
+            CoreSample{1'000'000, accesses});
+        PerfModel m;
+        m.calibrate(p);
+        for (FreqIndex f = 1; f < numFreqPoints; ++f)
+            EXPECT_GE(m.tpiMem(f), m.tpiMem(f - 1));
+    }
+}
+
+TEST(ModelProperty, RankEnergyNonNegativeEverywhere)
+{
+    Rng rng(888);
+    PowerParams pp;
+    for (int trial = 0; trial < 100; ++trial) {
+        RankActivity a;
+        a.totalTime = usToTick(1.0 + rng.uniform() * 1000.0);
+        Tick rem = a.totalTime;
+        a.prePowerdownTime = rng.below(rem + 1);
+        rem -= a.prePowerdownTime;
+        a.slowPowerdownTime = rng.below(a.prePowerdownTime + 1);
+        a.preStandbyTime = rng.below(rem + 1);
+        rem -= a.preStandbyTime;
+        a.actPowerdownTime = rng.below(rem + 1);
+        a.actStandbyTime = rem - a.actPowerdownTime;
+        a.actPreCount = rng.below(10000);
+        a.readBursts = rng.below(10000);
+        a.writeBursts = rng.below(10000);
+        a.readBurstTime = a.readBursts * 5000;
+        a.writeBurstTime = a.writeBursts * 5000;
+        a.refreshes = rng.below(100);
+        FreqIndex f = static_cast<FreqIndex>(rng.below(10));
+        RankEnergy e = rankEnergy(a, TimingParams::at(f), pp,
+                                  rng.below(usToTick(100.0)));
+        EXPECT_GE(e.background, 0.0);
+        EXPECT_GE(e.actPre, 0.0);
+        EXPECT_GE(e.readWrite, 0.0);
+        EXPECT_GE(e.termination, 0.0);
+        EXPECT_GE(e.refresh, 0.0);
+    }
+}
+
+TEST(ModelProperty, BackgroundEnergyMonotoneInFrequency)
+{
+    PowerParams pp;
+    RankActivity a;
+    a.totalTime = msToTick(1.0);
+    a.preStandbyTime = a.totalTime;
+    double prev = -1.0;
+    for (FreqIndex f = numFreqPoints; f-- > 0;) {
+        double e =
+            rankEnergy(a, TimingParams::at(f), pp, 0).background;
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}

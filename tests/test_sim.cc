@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, same-tick
+ * priority classes, cancellation, run limits, stop().
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace memscale;
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PriorityClasses)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] { order.push_back(2); }, EventClass::Sample);
+    eq.schedule(50, [&] { order.push_back(1); }, EventClass::Policy);
+    eq.schedule(50, [&] { order.push_back(0); }, EventClass::Hardware);
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, Cancel)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId id = eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id + 100));
+    eq.runUntil();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelFromEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId victim = eq.schedule(20, [&] { fired += 10; });
+    eq.schedule(10, [&] { eq.cancel(victim); ++fired; });
+    eq.runUntil();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunUntilLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    // Events exactly at the limit run.
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingFromEvents)
+{
+    EventQueue eq;
+    std::vector<Tick> times;
+    std::function<void()> chain = [&] {
+        times.push_back(eq.now());
+        if (times.size() < 5)
+            eq.scheduleIn(7, chain);
+    };
+    eq.schedule(0, chain);
+    eq.runUntil();
+    EXPECT_EQ(times, (std::vector<Tick>{0, 7, 14, 21, 28}));
+}
+
+TEST(EventQueue, Stop)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.stop();
+    });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, AdvancesToLimitWhenDrained)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    eq.runUntil(1000);
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueue, PendingCount)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EventId a = eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntil();
+    EXPECT_TRUE(eq.empty());
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Slack-tracker tests: Eq. 1 accumulation, feasibility algebra,
+ * negative-slack repayment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memscale/slack.hh"
+
+using namespace memscale;
+
+TEST(Slack, StartsAtZero)
+{
+    SlackTracker s;
+    s.reset(4, 0.10);
+    for (std::uint32_t c = 0; c < 4; ++c)
+        EXPECT_DOUBLE_EQ(s.slack(c), 0.0);
+    EXPECT_DOUBLE_EQ(s.gamma(), 0.10);
+}
+
+TEST(Slack, AccumulatesTargetMinusActual)
+{
+    SlackTracker s;
+    s.reset(1, 0.10);
+    // Work worth 1 ms at max frequency, executed in exactly 1.1 ms:
+    // on target, slack unchanged.
+    s.update(0, 1.0e-3, 1.1e-3);
+    EXPECT_NEAR(s.slack(0), 0.0, 1e-15);
+    // Executed faster than target: positive slack.
+    s.update(0, 1.0e-3, 1.0e-3);
+    EXPECT_NEAR(s.slack(0), 0.1e-3, 1e-12);
+    // Executed slower than target: slack decreases.
+    s.update(0, 1.0e-3, 1.3e-3);
+    EXPECT_NEAR(s.slack(0), -0.1e-3, 1e-12);
+}
+
+TEST(Slack, FeasibilityAtZeroSlack)
+{
+    SlackTracker s;
+    s.reset(1, 0.10);
+    double tpi_max = 1e-9;
+    // Up to 10% slower is feasible; beyond is not.
+    EXPECT_TRUE(s.feasible(0, tpi_max * 1.10, tpi_max, 1e-3));
+    EXPECT_TRUE(s.feasible(0, tpi_max * 1.0999, tpi_max, 1e-3));
+    EXPECT_FALSE(s.feasible(0, tpi_max * 1.12, tpi_max, 1e-3));
+}
+
+TEST(Slack, PositiveSlackRelaxesTarget)
+{
+    SlackTracker s;
+    s.reset(1, 0.10);
+    s.update(0, 2.0e-3, 1.0e-3);   // banked 1.2 ms of slack
+    double tpi_max = 1e-9;
+    // With slack larger than the next epoch, anything goes.
+    EXPECT_TRUE(s.feasible(0, tpi_max * 5.0, tpi_max, 1e-3));
+}
+
+TEST(Slack, NegativeSlackTightensTarget)
+{
+    SlackTracker s;
+    s.reset(1, 0.10);
+    s.update(0, 1.0e-3, 2.0e-3);   // 0.9 ms of debt
+    double tpi_max = 1e-9;
+    // Even running exactly at max-frequency speed is not enough to be
+    // "within target" for the next epoch; the debt must be repaid
+    // over time (the tracker still allows the fastest option when
+    // nothing is feasible -- that choice is the policy's).
+    EXPECT_FALSE(s.feasible(0, tpi_max * 1.10, tpi_max, 1e-3));
+}
+
+TEST(Slack, PartialSlackInterpolates)
+{
+    SlackTracker s;
+    s.reset(1, 0.0);   // gamma 0 isolates the slack term
+    s.update(0, 0.5e-3, 0.0);   // 0.5 ms banked
+    double tpi_max = 1e-9;
+    // epoch 1 ms, slack 0.5 ms: allowed stretch factor is
+    // epoch / (epoch - slack) = 2.
+    EXPECT_TRUE(s.feasible(0, tpi_max * 1.99, tpi_max, 1e-3));
+    EXPECT_FALSE(s.feasible(0, tpi_max * 2.01, tpi_max, 1e-3));
+}
+
+TEST(Slack, PerCoreIndependence)
+{
+    SlackTracker s;
+    s.reset(2, 0.10);
+    s.update(0, 1.0e-3, 2.0e-3);
+    EXPECT_LT(s.slack(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.slack(1), 0.0);
+}
