@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_coscale"
+  "../bench/abl_coscale.pdb"
+  "CMakeFiles/abl_coscale.dir/abl_coscale.cc.o"
+  "CMakeFiles/abl_coscale.dir/abl_coscale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

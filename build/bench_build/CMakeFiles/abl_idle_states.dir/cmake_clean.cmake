@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_idle_states"
+  "../bench/abl_idle_states.pdb"
+  "CMakeFiles/abl_idle_states.dir/abl_idle_states.cc.o"
+  "CMakeFiles/abl_idle_states.dir/abl_idle_states.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_idle_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_page_policy"
+  "../bench/abl_page_policy.pdb"
+  "CMakeFiles/abl_page_policy.dir/abl_page_policy.cc.o"
+  "CMakeFiles/abl_page_policy.dir/abl_page_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_page_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_perchannel"
+  "../bench/abl_perchannel.pdb"
+  "CMakeFiles/abl_perchannel.dir/abl_perchannel.cc.o"
+  "CMakeFiles/abl_perchannel.dir/abl_perchannel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_perchannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_energy_breakdown"
+  "../bench/fig10_energy_breakdown.pdb"
+  "CMakeFiles/fig10_energy_breakdown.dir/fig10_energy_breakdown.cc.o"
+  "CMakeFiles/fig10_energy_breakdown.dir/fig10_energy_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_policy_cpi"
+  "../bench/fig11_policy_cpi.pdb"
+  "CMakeFiles/fig11_policy_cpi.dir/fig11_policy_cpi.cc.o"
+  "CMakeFiles/fig11_policy_cpi.dir/fig11_policy_cpi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_policy_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_vary_bound"
+  "../bench/fig12_vary_bound.pdb"
+  "CMakeFiles/fig12_vary_bound.dir/fig12_vary_bound.cc.o"
+  "CMakeFiles/fig12_vary_bound.dir/fig12_vary_bound.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vary_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

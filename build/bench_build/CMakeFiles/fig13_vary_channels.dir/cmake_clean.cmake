@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_vary_channels"
+  "../bench/fig13_vary_channels.pdb"
+  "CMakeFiles/fig13_vary_channels.dir/fig13_vary_channels.cc.o"
+  "CMakeFiles/fig13_vary_channels.dir/fig13_vary_channels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vary_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_vary_memfraction"
+  "../bench/fig14_vary_memfraction.pdb"
+  "CMakeFiles/fig14_vary_memfraction.dir/fig14_vary_memfraction.cc.o"
+  "CMakeFiles/fig14_vary_memfraction.dir/fig14_vary_memfraction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vary_memfraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

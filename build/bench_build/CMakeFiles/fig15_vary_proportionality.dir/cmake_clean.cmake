@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_vary_proportionality"
+  "../bench/fig15_vary_proportionality.pdb"
+  "CMakeFiles/fig15_vary_proportionality.dir/fig15_vary_proportionality.cc.o"
+  "CMakeFiles/fig15_vary_proportionality.dir/fig15_vary_proportionality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_vary_proportionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

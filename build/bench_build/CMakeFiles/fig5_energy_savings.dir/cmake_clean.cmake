@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_energy_savings"
+  "../bench/fig5_energy_savings.pdb"
+  "CMakeFiles/fig5_energy_savings.dir/fig5_energy_savings.cc.o"
+  "CMakeFiles/fig5_energy_savings.dir/fig5_energy_savings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_energy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cpi_overhead"
+  "../bench/fig6_cpi_overhead.pdb"
+  "CMakeFiles/fig6_cpi_overhead.dir/fig6_cpi_overhead.cc.o"
+  "CMakeFiles/fig6_cpi_overhead.dir/fig6_cpi_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cpi_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

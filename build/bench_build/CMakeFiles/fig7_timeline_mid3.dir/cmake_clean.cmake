@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_timeline_mid3"
+  "../bench/fig7_timeline_mid3.pdb"
+  "CMakeFiles/fig7_timeline_mid3.dir/fig7_timeline_mid3.cc.o"
+  "CMakeFiles/fig7_timeline_mid3.dir/fig7_timeline_mid3.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_timeline_mid3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_timeline_mem4"
+  "../bench/fig8_timeline_mem4.pdb"
+  "CMakeFiles/fig8_timeline_mem4.dir/fig8_timeline_mem4.cc.o"
+  "CMakeFiles/fig8_timeline_mem4.dir/fig8_timeline_mem4.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_timeline_mem4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

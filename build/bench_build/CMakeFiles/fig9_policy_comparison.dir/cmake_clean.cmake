@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_policy_comparison"
+  "../bench/fig9_policy_comparison.pdb"
+  "CMakeFiles/fig9_policy_comparison.dir/fig9_policy_comparison.cc.o"
+  "CMakeFiles/fig9_policy_comparison.dir/fig9_policy_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_cores32"
+  "../bench/sens_cores32.pdb"
+  "CMakeFiles/sens_cores32.dir/sens_cores32.cc.o"
+  "CMakeFiles/sens_cores32.dir/sens_cores32.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_cores32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

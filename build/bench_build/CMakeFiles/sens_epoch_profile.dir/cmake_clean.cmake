@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_epoch_profile"
+  "../bench/sens_epoch_profile.pdb"
+  "CMakeFiles/sens_epoch_profile.dir/sens_epoch_profile.cc.o"
+  "CMakeFiles/sens_epoch_profile.dir/sens_epoch_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_epoch_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

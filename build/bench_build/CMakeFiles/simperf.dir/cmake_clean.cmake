@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/simperf"
+  "../bench/simperf.pdb"
+  "CMakeFiles/simperf.dir/simperf.cc.o"
+  "CMakeFiles/simperf.dir/simperf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/val_model_accuracy"
+  "../bench/val_model_accuracy.pdb"
+  "CMakeFiles/val_model_accuracy.dir/val_model_accuracy.cc.o"
+  "CMakeFiles/val_model_accuracy.dir/val_model_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/val_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_workload.dir/cache_workload.cpp.o"
+  "CMakeFiles/cache_workload.dir/cache_workload.cpp.o.d"
+  "cache_workload"
+  "cache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_common.dir/common/config.cc.o"
+  "CMakeFiles/ms_common.dir/common/config.cc.o.d"
+  "CMakeFiles/ms_common.dir/common/log.cc.o"
+  "CMakeFiles/ms_common.dir/common/log.cc.o.d"
+  "CMakeFiles/ms_common.dir/common/stats.cc.o"
+  "CMakeFiles/ms_common.dir/common/stats.cc.o.d"
+  "libms_common.a"
+  "libms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memscale/energy_model.cc" "src/CMakeFiles/ms_core.dir/memscale/energy_model.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/energy_model.cc.o.d"
+  "/root/repo/src/memscale/epoch_controller.cc" "src/CMakeFiles/ms_core.dir/memscale/epoch_controller.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/epoch_controller.cc.o.d"
+  "/root/repo/src/memscale/perf_model.cc" "src/CMakeFiles/ms_core.dir/memscale/perf_model.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/perf_model.cc.o.d"
+  "/root/repo/src/memscale/policies/coscale_policy.cc" "src/CMakeFiles/ms_core.dir/memscale/policies/coscale_policy.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/policies/coscale_policy.cc.o.d"
+  "/root/repo/src/memscale/policies/decoupled_policy.cc" "src/CMakeFiles/ms_core.dir/memscale/policies/decoupled_policy.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/policies/decoupled_policy.cc.o.d"
+  "/root/repo/src/memscale/policies/memscale_policy.cc" "src/CMakeFiles/ms_core.dir/memscale/policies/memscale_policy.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/policies/memscale_policy.cc.o.d"
+  "/root/repo/src/memscale/policies/perchannel_policy.cc" "src/CMakeFiles/ms_core.dir/memscale/policies/perchannel_policy.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/policies/perchannel_policy.cc.o.d"
+  "/root/repo/src/memscale/policies/policy.cc" "src/CMakeFiles/ms_core.dir/memscale/policies/policy.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/policies/policy.cc.o.d"
+  "/root/repo/src/memscale/policies/powerdown_policy.cc" "src/CMakeFiles/ms_core.dir/memscale/policies/powerdown_policy.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/policies/powerdown_policy.cc.o.d"
+  "/root/repo/src/memscale/policies/static_policy.cc" "src/CMakeFiles/ms_core.dir/memscale/policies/static_policy.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/policies/static_policy.cc.o.d"
+  "/root/repo/src/memscale/slack.cc" "src/CMakeFiles/ms_core.dir/memscale/slack.cc.o" "gcc" "src/CMakeFiles/ms_core.dir/memscale/slack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ms_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

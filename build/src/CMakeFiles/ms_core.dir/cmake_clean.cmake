@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_core.dir/memscale/energy_model.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/energy_model.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/epoch_controller.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/epoch_controller.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/perf_model.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/perf_model.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/policies/coscale_policy.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/policies/coscale_policy.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/policies/decoupled_policy.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/policies/decoupled_policy.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/policies/memscale_policy.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/policies/memscale_policy.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/policies/perchannel_policy.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/policies/perchannel_policy.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/policies/policy.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/policies/policy.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/policies/powerdown_policy.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/policies/powerdown_policy.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/policies/static_policy.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/policies/static_policy.cc.o.d"
+  "CMakeFiles/ms_core.dir/memscale/slack.cc.o"
+  "CMakeFiles/ms_core.dir/memscale/slack.cc.o.d"
+  "libms_core.a"
+  "libms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_cpu.dir/cpu/core.cc.o"
+  "CMakeFiles/ms_cpu.dir/cpu/core.cc.o.d"
+  "libms_cpu.a"
+  "libms_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_dram.dir/dram/bank.cc.o"
+  "CMakeFiles/ms_dram.dir/dram/bank.cc.o.d"
+  "CMakeFiles/ms_dram.dir/dram/rank.cc.o"
+  "CMakeFiles/ms_dram.dir/dram/rank.cc.o.d"
+  "CMakeFiles/ms_dram.dir/dram/timing.cc.o"
+  "CMakeFiles/ms_dram.dir/dram/timing.cc.o.d"
+  "libms_dram.a"
+  "libms_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

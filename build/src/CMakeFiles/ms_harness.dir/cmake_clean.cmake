@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/ms_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/ms_harness.dir/harness/report.cc.o"
+  "CMakeFiles/ms_harness.dir/harness/report.cc.o.d"
+  "CMakeFiles/ms_harness.dir/harness/system.cc.o"
+  "CMakeFiles/ms_harness.dir/harness/system.cc.o.d"
+  "libms_harness.a"
+  "libms_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cc" "src/CMakeFiles/ms_mem.dir/mem/address_map.cc.o" "gcc" "src/CMakeFiles/ms_mem.dir/mem/address_map.cc.o.d"
+  "/root/repo/src/mem/channel.cc" "src/CMakeFiles/ms_mem.dir/mem/channel.cc.o" "gcc" "src/CMakeFiles/ms_mem.dir/mem/channel.cc.o.d"
+  "/root/repo/src/mem/controller.cc" "src/CMakeFiles/ms_mem.dir/mem/controller.cc.o" "gcc" "src/CMakeFiles/ms_mem.dir/mem/controller.cc.o.d"
+  "/root/repo/src/mem/counters.cc" "src/CMakeFiles/ms_mem.dir/mem/counters.cc.o" "gcc" "src/CMakeFiles/ms_mem.dir/mem/counters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ms_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_mem.dir/mem/address_map.cc.o"
+  "CMakeFiles/ms_mem.dir/mem/address_map.cc.o.d"
+  "CMakeFiles/ms_mem.dir/mem/channel.cc.o"
+  "CMakeFiles/ms_mem.dir/mem/channel.cc.o.d"
+  "CMakeFiles/ms_mem.dir/mem/controller.cc.o"
+  "CMakeFiles/ms_mem.dir/mem/controller.cc.o.d"
+  "CMakeFiles/ms_mem.dir/mem/counters.cc.o"
+  "CMakeFiles/ms_mem.dir/mem/counters.cc.o.d"
+  "libms_mem.a"
+  "libms_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

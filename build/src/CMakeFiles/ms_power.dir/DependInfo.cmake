@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/dram_power.cc" "src/CMakeFiles/ms_power.dir/power/dram_power.cc.o" "gcc" "src/CMakeFiles/ms_power.dir/power/dram_power.cc.o.d"
+  "/root/repo/src/power/params.cc" "src/CMakeFiles/ms_power.dir/power/params.cc.o" "gcc" "src/CMakeFiles/ms_power.dir/power/params.cc.o.d"
+  "/root/repo/src/power/system_power.cc" "src/CMakeFiles/ms_power.dir/power/system_power.cc.o" "gcc" "src/CMakeFiles/ms_power.dir/power/system_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ms_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_power.dir/power/dram_power.cc.o"
+  "CMakeFiles/ms_power.dir/power/dram_power.cc.o.d"
+  "CMakeFiles/ms_power.dir/power/params.cc.o"
+  "CMakeFiles/ms_power.dir/power/params.cc.o.d"
+  "CMakeFiles/ms_power.dir/power/system_power.cc.o"
+  "CMakeFiles/ms_power.dir/power/system_power.cc.o.d"
+  "libms_power.a"
+  "libms_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

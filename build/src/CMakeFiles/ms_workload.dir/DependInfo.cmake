@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/address_stream.cc" "src/CMakeFiles/ms_workload.dir/workload/address_stream.cc.o" "gcc" "src/CMakeFiles/ms_workload.dir/workload/address_stream.cc.o.d"
+  "/root/repo/src/workload/app_profile.cc" "src/CMakeFiles/ms_workload.dir/workload/app_profile.cc.o" "gcc" "src/CMakeFiles/ms_workload.dir/workload/app_profile.cc.o.d"
+  "/root/repo/src/workload/llc.cc" "src/CMakeFiles/ms_workload.dir/workload/llc.cc.o" "gcc" "src/CMakeFiles/ms_workload.dir/workload/llc.cc.o.d"
+  "/root/repo/src/workload/mixes.cc" "src/CMakeFiles/ms_workload.dir/workload/mixes.cc.o" "gcc" "src/CMakeFiles/ms_workload.dir/workload/mixes.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/CMakeFiles/ms_workload.dir/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/ms_workload.dir/workload/trace_file.cc.o.d"
+  "/root/repo/src/workload/trace_source.cc" "src/CMakeFiles/ms_workload.dir/workload/trace_source.cc.o" "gcc" "src/CMakeFiles/ms_workload.dir/workload/trace_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ms_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

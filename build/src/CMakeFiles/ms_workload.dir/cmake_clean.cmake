@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_workload.dir/workload/address_stream.cc.o"
+  "CMakeFiles/ms_workload.dir/workload/address_stream.cc.o.d"
+  "CMakeFiles/ms_workload.dir/workload/app_profile.cc.o"
+  "CMakeFiles/ms_workload.dir/workload/app_profile.cc.o.d"
+  "CMakeFiles/ms_workload.dir/workload/llc.cc.o"
+  "CMakeFiles/ms_workload.dir/workload/llc.cc.o.d"
+  "CMakeFiles/ms_workload.dir/workload/mixes.cc.o"
+  "CMakeFiles/ms_workload.dir/workload/mixes.cc.o.d"
+  "CMakeFiles/ms_workload.dir/workload/trace_file.cc.o"
+  "CMakeFiles/ms_workload.dir/workload/trace_file.cc.o.d"
+  "CMakeFiles/ms_workload.dir/workload/trace_source.cc.o"
+  "CMakeFiles/ms_workload.dir/workload/trace_source.cc.o.d"
+  "libms_workload.a"
+  "libms_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coscale.dir/test_coscale.cc.o"
+  "CMakeFiles/test_coscale.dir/test_coscale.cc.o.d"
+  "test_coscale"
+  "test_coscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

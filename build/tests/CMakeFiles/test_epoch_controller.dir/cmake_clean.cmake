@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch_controller.dir/test_epoch_controller.cc.o"
+  "CMakeFiles/test_epoch_controller.dir/test_epoch_controller.cc.o.d"
+  "test_epoch_controller"
+  "test_epoch_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

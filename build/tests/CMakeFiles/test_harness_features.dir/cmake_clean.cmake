@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness_features.dir/test_harness_features.cc.o"
+  "CMakeFiles/test_harness_features.dir/test_harness_features.cc.o.d"
+  "test_harness_features"
+  "test_harness_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

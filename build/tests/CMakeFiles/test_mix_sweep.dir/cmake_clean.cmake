@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mix_sweep.dir/test_mix_sweep.cc.o"
+  "CMakeFiles/test_mix_sweep.dir/test_mix_sweep.cc.o.d"
+  "test_mix_sweep"
+  "test_mix_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mix_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

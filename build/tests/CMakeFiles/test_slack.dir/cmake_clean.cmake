@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slack.dir/test_slack.cc.o"
+  "CMakeFiles/test_slack.dir/test_slack.cc.o.d"
+  "test_slack"
+  "test_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
