@@ -17,27 +17,38 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     cfg.modelCpuPower = true;
     benchHeader("Extension", "coordinated CPU+memory DVFS (CoScale)",
                 cfg);
 
+    const std::vector<const char *> mixnames = {"ILP2", "MID1", "MID2",
+                                                "MID3", "MEM2"};
+    const std::vector<std::string> policies = {"memscale", "coscale"};
+
+    std::vector<SystemConfig> cfgs;
+    for (const char *mixname : mixnames) {
+        cfgs.push_back(cfg);
+        cfgs.back().mixName = mixname;
+    }
+    std::vector<CalibratedBaseline> bases = runBaselines(eng, cfgs);
+    std::vector<ComparisonResult> results =
+        comparePolicyGrid(eng, cfgs, bases, policies);
+
     Table t({"mix", "class", "policy", "sys saved", "mem saved",
              "CPU energy (vs base)", "worst CPI incr"});
-    for (const char *mixname :
-         {"ILP2", "MID1", "MID2", "MID3", "MEM2"}) {
-        SystemConfig c = cfg;
-        c.mixName = mixname;
-        Watts rest = 0.0;
-        RunResult base = runBaseline(c, rest);
-        for (const char *p : {"memscale", "coscale"}) {
-            ComparisonResult r = compareWithBase(c, base, rest, p);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const ComparisonResult &r = results[p * cfgs.size() + i];
+            const RunResult &base = bases[i].base;
             double cpu_ratio =
                 base.energy.cpu > 0.0
                     ? r.policy.energy.cpu / base.energy.cpu
                     : 1.0;
-            t.addRow({mixname, mixByName(mixname).klass, p,
-                      pct(r.sysEnergySavings),
+            t.addRow({mixnames[i], mixByName(mixnames[i]).klass,
+                      policies[p], pct(r.sysEnergySavings),
                       pct(r.memEnergySavings), pct(cpu_ratio),
                       pct(r.worstCpiIncrease)});
         }

@@ -15,34 +15,43 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Ablation",
                 "idle states + throttling vs active low-power modes",
                 cfg);
 
     const std::vector<std::string> policies = {
         "fastpd", "slowpd", "srpd", "throttle", "memscale"};
+    const std::vector<const char *> mixnames = {"ILP2", "MID2", "MEM2"};
 
-    for (const char *mixname : {"ILP2", "MID2", "MEM2"}) {
-        SystemConfig c = cfg;
-        c.mixName = mixname;
-        Watts rest = 0.0;
-        RunResult base = runBaseline(c, rest);
+    std::vector<SystemConfig> cfgs;
+    for (const char *mixname : mixnames) {
+        cfgs.push_back(cfg);
+        cfgs.back().mixName = mixname;
+    }
+    std::vector<CalibratedBaseline> bases = runBaselines(eng, cfgs);
+    std::vector<ComparisonResult> results =
+        comparePolicyGrid(eng, cfgs, bases, policies);
+
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
         Table t({"policy", "rank idle (pre-PD) time", "sys saved",
                  "mem saved", "worst CPI incr"});
-        for (const std::string &p : policies) {
-            ComparisonResult r = compareWithBase(c, base, rest, p);
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const ComparisonResult &r = results[p * cfgs.size() + i];
             const McCounters &mc = r.policy.counters;
             double pd_frac =
                 mc.rankTime
                     ? static_cast<double>(mc.rankPrePdTime) /
                           static_cast<double>(mc.rankTime)
                     : 0.0;
-            t.addRow({p, pct(pd_frac), pct(r.sysEnergySavings),
+            t.addRow({policies[p], pct(pd_frac),
+                      pct(r.sysEnergySavings),
                       pct(r.memEnergySavings),
                       pct(r.worstCpiIncrease)});
         }
-        t.print(std::string("idle-state comparison, ") + mixname);
+        t.print(std::string("idle-state comparison, ") + mixnames[i]);
     }
     std::printf("\nexpectation (paper Sections 1/5): even immediate "
                 "powerdown finds limited rank idleness\nonce traffic "

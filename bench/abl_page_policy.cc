@@ -16,7 +16,9 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Ablation", "page policy x scheduler", cfg);
 
     struct Combo
@@ -35,15 +37,25 @@ main(int argc, char **argv)
          SchedulerPolicy::FrFcfs},
     };
 
-    for (const char *mixname : {"MID2", "MEM1"}) {
-        Table t({"configuration", "row-hit rate", "base CPI (avg)",
-                 "sys energy saved", "worst CPI incr"});
+    const std::vector<const char *> mixnames = {"MID2", "MEM1"};
+    std::vector<SweepCase> cases;
+    for (const char *mixname : mixnames) {
         for (const Combo &combo : combos) {
             SystemConfig c = cfg;
             c.mixName = mixname;
             c.mem.pagePolicy = combo.page;
             c.mem.scheduler = combo.sched;
-            ComparisonResult r = compare(c, "memscale");
+            cases.push_back(SweepCase{std::move(c), "memscale"});
+        }
+    }
+    std::vector<ComparisonResult> results = compareCases(eng, cases);
+
+    std::size_t idx = 0;
+    for (const char *mixname : mixnames) {
+        Table t({"configuration", "row-hit rate", "base CPI (avg)",
+                 "sys energy saved", "worst CPI incr"});
+        for (const Combo &combo : combos) {
+            const ComparisonResult &r = results[idx++];
             double hits = r.base.counters.rowHitFraction();
             t.addRow({combo.label, pct(hits), fmt(r.base.avgCpi()),
                       pct(r.sysEnergySavings),

@@ -28,36 +28,34 @@ skewedApps()
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Extension", "per-channel DVFS vs lockstep MemScale",
                 cfg);
 
+    const std::vector<std::string> policies = {"memscale",
+                                               "memscale-perchannel"};
+
+    std::vector<SystemConfig> cfgs = midConfigs(cfg);
+    cfgs.push_back(cfg);
+    cfgs.back().mixName = "skewed";
+    cfgs.back().customApps = skewedApps();
+
+    std::vector<CalibratedBaseline> bases = runBaselines(eng, cfgs);
+    std::vector<ComparisonResult> results =
+        comparePolicyGrid(eng, cfgs, bases, policies);
+
     Table t({"workload", "policy", "sys energy saved",
              "mem energy saved", "worst CPI incr"});
-    for (const MixSpec &mix : allMixes()) {
-        if (mix.klass != "MID")
-            continue;
-        SystemConfig c = cfg;
-        c.mixName = mix.name;
-        Watts rest = 0.0;
-        RunResult base = runBaseline(c, rest);
-        for (const char *p : {"memscale", "memscale-perchannel"}) {
-            ComparisonResult r = compareWithBase(c, base, rest, p);
-            t.addRow({mix.name, p, pct(r.sysEnergySavings),
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const ComparisonResult &r = results[p * cfgs.size() + i];
+            t.addRow({cfgs[i].mixName, policies[p],
+                      pct(r.sysEnergySavings),
                       pct(r.memEnergySavings),
                       pct(r.worstCpiIncrease)});
         }
-    }
-
-    SystemConfig c = cfg;
-    c.mixName = "skewed";
-    c.customApps = skewedApps();
-    Watts rest = 0.0;
-    RunResult base = runBaseline(c, rest);
-    for (const char *p : {"memscale", "memscale-perchannel"}) {
-        ComparisonResult r = compareWithBase(c, base, rest, p);
-        t.addRow({"skewed", p, pct(r.sysEnergySavings),
-                  pct(r.memEnergySavings), pct(r.worstCpiIncrease)});
     }
     t.print("per-channel DVFS extension");
     std::printf("\nwith line-interleaved channels the loads are nearly "

@@ -8,6 +8,11 @@
  * (5M instructions, 0.25 ms epochs, 25 us profiling) so the whole
  * evaluation regenerates in minutes on a laptop; pass budget=…,
  * epoch_ms=… etc. (or MEMSCALE_* env vars) for full-scale runs.
+ *
+ * Every driver fans its independent runs out on a SweepEngine sized
+ * by `jobs=N` / `--jobs N` / MEMSCALE_JOBS (default: all hardware
+ * threads).  Results are aggregated by task index, so the printed
+ * tables are byte-identical for any job count.
  */
 
 #ifndef MEMSCALE_BENCH_BENCH_COMMON_HH
@@ -18,6 +23,7 @@
 #include "common/config.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workload/mixes.hh"
 
 namespace memscale
@@ -46,6 +52,27 @@ benchConfig(int argc, char **argv, Config *out_conf = nullptr)
     return cfg;
 }
 
+/** Sweep engine honouring jobs=N / --jobs N / MEMSCALE_JOBS. */
+inline SweepEngine
+benchEngine(const Config &conf)
+{
+    return SweepEngine(checkedJobs(conf.getInt("jobs", 0)));
+}
+
+/** The configurations of all MID mixes under a base setting. */
+inline std::vector<SystemConfig>
+midConfigs(const SystemConfig &cfg)
+{
+    std::vector<SystemConfig> out;
+    for (const MixSpec &mix : allMixes()) {
+        if (mix.klass != "MID")
+            continue;
+        out.push_back(cfg);
+        out.back().mixName = mix.name;
+    }
+    return out;
+}
+
 /** MID-average MemScale outcome for one sensitivity setting. */
 struct MidSweepPoint
 {
@@ -55,29 +82,51 @@ struct MidSweepPoint
     double worstCpiIncrease = 0.0;
 };
 
-inline MidSweepPoint
-runMidSweep(const SystemConfig &cfg,
-            const std::string &policy = "memscale")
+/**
+ * One MID sweep per base configuration, all flattened into a single
+ * parallel batch (settings x MID mixes tasks); out[i] aggregates the
+ * MID mixes of cfgs[i] in mix order.
+ */
+inline std::vector<MidSweepPoint>
+runMidSweeps(const SweepEngine &eng,
+             const std::vector<SystemConfig> &cfgs,
+             const std::string &policy = "memscale")
 {
-    MidSweepPoint pt;
-    int n = 0;
-    for (const MixSpec &mix : allMixes()) {
-        if (mix.klass != "MID")
-            continue;
-        SystemConfig c = cfg;
-        c.mixName = mix.name;
-        ComparisonResult r = compare(c, policy);
+    std::vector<SweepCase> cases;
+    std::vector<std::size_t> setting;  // case index -> cfgs index
+    for (std::size_t s = 0; s < cfgs.size(); ++s) {
+        for (SystemConfig &c : midConfigs(cfgs[s])) {
+            cases.push_back(SweepCase{std::move(c), policy});
+            setting.push_back(s);
+        }
+    }
+    std::vector<ComparisonResult> results = compareCases(eng, cases);
+
+    std::vector<MidSweepPoint> out(cfgs.size());
+    std::vector<int> n(cfgs.size(), 0);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        MidSweepPoint &pt = out[setting[i]];
+        const ComparisonResult &r = results[i];
         pt.sysSavings += r.sysEnergySavings;
         pt.memSavings += r.memEnergySavings;
         pt.avgCpiIncrease += r.avgCpiIncrease;
         pt.worstCpiIncrease =
             std::max(pt.worstCpiIncrease, r.worstCpiIncrease);
-        ++n;
+        ++n[setting[i]];
     }
-    pt.sysSavings /= n;
-    pt.memSavings /= n;
-    pt.avgCpiIncrease /= n;
-    return pt;
+    for (std::size_t s = 0; s < out.size(); ++s) {
+        out[s].sysSavings /= n[s];
+        out[s].memSavings /= n[s];
+        out[s].avgCpiIncrease /= n[s];
+    }
+    return out;
+}
+
+inline MidSweepPoint
+runMidSweep(const SweepEngine &eng, const SystemConfig &cfg,
+            const std::string &policy = "memscale")
+{
+    return runMidSweeps(eng, {cfg}, policy)[0];
 }
 
 inline void

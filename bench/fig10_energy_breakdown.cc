@@ -15,40 +15,37 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 10", "system energy breakdown by policy (MID)",
                 cfg);
 
     const std::vector<std::string> policies = {
         "baseline", "fastpd", "slowpd", "decoupled", "static",
         "memscale-memenergy", "memscale", "memscale-fastpd"};
+    const std::vector<std::string> realPolicies(policies.begin() + 1,
+                                                policies.end());
 
-    std::vector<std::pair<RunResult, Watts>> bases;
-    std::vector<SystemConfig> cfgs;
+    std::vector<SystemConfig> cfgs = midConfigs(cfg);
+    std::vector<CalibratedBaseline> bases = runBaselines(eng, cfgs);
     double base_total = 0.0;
-    for (const MixSpec &mix : allMixes()) {
-        if (mix.klass != "MID")
-            continue;
-        SystemConfig c = cfg;
-        c.mixName = mix.name;
-        Watts rest = 0.0;
-        RunResult base = runBaseline(c, rest);
-        base_total += base.energy.total();
-        bases.emplace_back(std::move(base), rest);
-        cfgs.push_back(c);
-    }
+    for (const CalibratedBaseline &b : bases)
+        base_total += b.base.energy.total();
+    std::vector<ComparisonResult> results =
+        comparePolicyGrid(eng, cfgs, bases, realPolicies);
 
     Table t({"policy", "DRAM", "PLL/Reg", "MC", "rest of system",
              "total (vs base)"});
-    for (const std::string &p : policies) {
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+        const std::string &p = policies[pi];
         EnergyBreakdown sum;
         for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            if (p == "baseline") {
-                sum += bases[i].first.energy;
+            if (pi == 0) {  // "baseline"
+                sum += bases[i].base.energy;
             } else {
-                ComparisonResult r = compareWithBase(
-                    cfgs[i], bases[i].first, bases[i].second, p);
-                sum += r.policy.energy;
+                sum += results[(pi - 1) * cfgs.size() + i]
+                           .policy.energy;
             }
         }
         t.addRow({p, pct(sum.dram() / base_total),

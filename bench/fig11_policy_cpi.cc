@@ -14,37 +14,30 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 11", "CPI overhead by policy (MID)", cfg);
 
     const std::vector<std::string> policies = {
         "fastpd", "slowpd", "decoupled", "static",
         "memscale-memenergy", "memscale", "memscale-fastpd"};
 
-    std::vector<std::pair<RunResult, Watts>> bases;
-    std::vector<SystemConfig> cfgs;
-    for (const MixSpec &mix : allMixes()) {
-        if (mix.klass != "MID")
-            continue;
-        SystemConfig c = cfg;
-        c.mixName = mix.name;
-        Watts rest = 0.0;
-        RunResult base = runBaseline(c, rest);
-        bases.emplace_back(std::move(base), rest);
-        cfgs.push_back(c);
-    }
+    std::vector<SystemConfig> cfgs = midConfigs(cfg);
+    std::vector<CalibratedBaseline> bases = runBaselines(eng, cfgs);
+    std::vector<ComparisonResult> results =
+        comparePolicyGrid(eng, cfgs, bases, policies);
 
     Table t({"policy", "avg CPI increase", "worst CPI increase",
              "bound"});
-    for (const std::string &p : policies) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
         double avg = 0.0, worst = 0.0;
         for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            ComparisonResult r = compareWithBase(
-                cfgs[i], bases[i].first, bases[i].second, p);
+            const ComparisonResult &r = results[p * cfgs.size() + i];
             avg += r.avgCpiIncrease;
             worst = std::max(worst, r.worstCpiIncrease);
         }
-        t.addRow({p, pct(avg / cfgs.size()), pct(worst),
+        t.addRow({policies[p], pct(avg / cfgs.size()), pct(worst),
                   pct(cfg.gamma)});
     }
     t.print("Fig. 11: CPI overhead by policy");

@@ -16,16 +16,24 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 12", "sensitivity to the CPI bound (MID)", cfg);
+
+    const std::vector<double> bounds = {0.01, 0.05, 0.10, 0.15};
+    std::vector<SystemConfig> cfgs;
+    for (double bound : bounds) {
+        cfgs.push_back(cfg);
+        cfgs.back().gamma = bound;
+    }
+    std::vector<MidSweepPoint> pts = runMidSweeps(eng, cfgs);
 
     Table t({"bound", "sys energy saved", "mem energy saved",
              "worst CPI increase"});
-    for (double bound : {0.01, 0.05, 0.10, 0.15}) {
-        SystemConfig c = cfg;
-        c.gamma = bound;
-        MidSweepPoint pt = runMidSweep(c);
-        t.addRow({pct(bound, 0), pct(pt.sysSavings),
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        const MidSweepPoint &pt = pts[i];
+        t.addRow({pct(bounds[i], 0), pct(pt.sysSavings),
                   pct(pt.memSavings), pct(pt.worstCpiIncrease)});
     }
     t.print("Fig. 12: CPI-bound sensitivity (paper: savings saturate "

@@ -15,16 +15,24 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 13", "sensitivity to channel count (MID)", cfg);
+
+    const std::vector<std::uint32_t> channels = {4u, 3u, 2u};
+    std::vector<SystemConfig> cfgs;
+    for (std::uint32_t ch : channels) {
+        cfgs.push_back(cfg);
+        cfgs.back().mem.numChannels = ch;
+    }
+    std::vector<MidSweepPoint> pts = runMidSweeps(eng, cfgs);
 
     Table t({"channels", "sys energy saved", "mem energy saved",
              "worst CPI increase"});
-    for (std::uint32_t ch : {4u, 3u, 2u}) {
-        SystemConfig c = cfg;
-        c.mem.numChannels = ch;
-        MidSweepPoint pt = runMidSweep(c);
-        t.addRow({std::to_string(ch), pct(pt.sysSavings),
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        const MidSweepPoint &pt = pts[i];
+        t.addRow({std::to_string(channels[i]), pct(pt.sysSavings),
                   pct(pt.memSavings), pct(pt.worstCpiIncrease)});
     }
     t.print("Fig. 13: channel-count sensitivity (paper: savings grow "

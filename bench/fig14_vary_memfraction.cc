@@ -14,17 +14,25 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 14",
                 "sensitivity to memory power fraction (MID)", cfg);
 
+    const std::vector<double> fracs = {0.30, 0.40, 0.50};
+    std::vector<SystemConfig> cfgs;
+    for (double frac : fracs) {
+        cfgs.push_back(cfg);
+        cfgs.back().memPowerFraction = frac;
+    }
+    std::vector<MidSweepPoint> pts = runMidSweeps(eng, cfgs);
+
     Table t({"memory share", "sys energy saved", "mem energy saved",
              "worst CPI increase"});
-    for (double frac : {0.30, 0.40, 0.50}) {
-        SystemConfig c = cfg;
-        c.memPowerFraction = frac;
-        MidSweepPoint pt = runMidSweep(c);
-        t.addRow({pct(frac, 0), pct(pt.sysSavings),
+    for (std::size_t i = 0; i < fracs.size(); ++i) {
+        const MidSweepPoint &pt = pts[i];
+        t.addRow({pct(fracs[i], 0), pct(pt.sysSavings),
                   pct(pt.memSavings), pct(pt.worstCpiIncrease)});
     }
     t.print("Fig. 14: memory-power-fraction sensitivity (paper: "

@@ -16,18 +16,26 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 15",
                 "sensitivity to MC/register power proportionality (MID)",
                 cfg);
 
+    const std::vector<double> props = {0.0, 0.5, 1.0};
+    std::vector<SystemConfig> cfgs;
+    for (double prop : props) {
+        cfgs.push_back(cfg);
+        cfgs.back().power.proportionality = prop;
+    }
+    std::vector<MidSweepPoint> pts = runMidSweeps(eng, cfgs);
+
     Table t({"idle power (of peak)", "sys energy saved",
              "mem energy saved", "worst CPI increase"});
-    for (double prop : {0.0, 0.5, 1.0}) {
-        SystemConfig c = cfg;
-        c.power.proportionality = prop;
-        MidSweepPoint pt = runMidSweep(c);
-        t.addRow({pct(prop, 0), pct(pt.sysSavings),
+    for (std::size_t i = 0; i < props.size(); ++i) {
+        const MidSweepPoint &pt = pts[i];
+        t.addRow({pct(props[i], 0), pct(pt.sysSavings),
                   pct(pt.memSavings), pct(pt.worstCpiIncrease)});
     }
     t.print("Fig. 15: proportionality sensitivity (paper: lower "

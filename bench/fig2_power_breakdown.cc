@@ -13,7 +13,9 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 2", "baseline memory power breakdown by class",
                 cfg);
 
@@ -25,11 +27,15 @@ main(int argc, char **argv)
     };
     std::map<std::string, ClassAgg> agg;
 
-    Watts rest = 0.0;
+    std::vector<SystemConfig> cfgs;
     for (const MixSpec &mix : allMixes()) {
-        SystemConfig c = cfg;
-        c.mixName = mix.name;
-        RunResult base = runBaseline(c, rest);
+        cfgs.push_back(cfg);
+        cfgs.back().mixName = mix.name;
+    }
+    std::vector<CalibratedBaseline> bases = runBaselines(eng, cfgs);
+    std::size_t i = 0;
+    for (const MixSpec &mix : allMixes()) {
+        const RunResult &base = bases[i++].base;
         ClassAgg &a = agg[mix.klass];
         a.e += base.energy;
         a.sec += tickToSec(base.runtime);

@@ -15,16 +15,25 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 5", "MemScale energy savings per mix", cfg);
+
+    std::vector<SweepCase> cases;
+    for (const MixSpec &mix : allMixes()) {
+        SystemConfig c = cfg;
+        c.mixName = mix.name;
+        cases.push_back(SweepCase{std::move(c), "memscale"});
+    }
+    std::vector<ComparisonResult> results = compareCases(eng, cases);
 
     Table t({"mix", "class", "mem energy saved", "sys energy saved",
              "runtime base(ms)", "runtime ms(ms)"});
     double mem_min = 1.0, mem_max = 0.0, sys_min = 1.0, sys_max = 0.0;
+    std::size_t i = 0;
     for (const MixSpec &mix : allMixes()) {
-        SystemConfig c = cfg;
-        c.mixName = mix.name;
-        ComparisonResult r = compare(c, "memscale");
+        const ComparisonResult &r = results[i++];
         t.addRow({mix.name, mix.klass, pct(r.memEnergySavings),
                   pct(r.sysEnergySavings),
                   fmt(tickToMs(r.base.runtime)),

@@ -14,17 +14,26 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 6", "MemScale CPI overhead per mix", cfg);
+
+    std::vector<SweepCase> cases;
+    for (const MixSpec &mix : allMixes()) {
+        SystemConfig c = cfg;
+        c.mixName = mix.name;
+        cases.push_back(SweepCase{std::move(c), "memscale"});
+    }
+    std::vector<ComparisonResult> results = compareCases(eng, cases);
 
     Table t({"mix", "class", "avg CPI increase", "worst CPI increase",
              "bound", "worst app"});
     double global_worst = 0.0;
     double worst_avg = 0.0;
+    std::size_t idx = 0;
     for (const MixSpec &mix : allMixes()) {
-        SystemConfig c = cfg;
-        c.mixName = mix.name;
-        ComparisonResult r = compare(c, "memscale");
+        const ComparisonResult &r = results[idx++];
         std::size_t worst_i = 0;
         for (std::size_t i = 1; i < r.cpiIncrease.size(); ++i)
             if (r.cpiIncrease[i] > r.cpiIncrease[worst_i])

@@ -15,15 +15,17 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     cfg.mixName = "MID3";
     benchHeader("Figure 7",
                 "MID3 timeline: frequency tracks the apsi phase change",
                 cfg);
 
-    Watts rest = 0.0;
-    RunResult base = runBaseline(cfg, rest);
-    ComparisonResult r = compareWithBase(cfg, base, rest, "memscale");
+    CalibratedBaseline cal = runBaselines(eng, {cfg})[0];
+    ComparisonResult r =
+        compareWithBase(cfg, cal.base, cal.rest, "memscale");
 
     // Group cores by application (x4 instances each).
     std::map<std::string, std::vector<std::size_t>> by_app;

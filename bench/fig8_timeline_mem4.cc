@@ -15,15 +15,17 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     cfg.mixName = "MEM4";
     cfg.numCores = 8;   // the paper uses an 8-core system here
     benchHeader("Figure 8",
                 "MEM4 (8 cores): virtual-frequency oscillation", cfg);
 
-    Watts rest = 0.0;
-    RunResult base = runBaseline(cfg, rest);
-    ComparisonResult r = compareWithBase(cfg, base, rest, "memscale");
+    CalibratedBaseline cal = runBaselines(eng, {cfg})[0];
+    ComparisonResult r =
+        compareWithBase(cfg, cal.base, cal.rest, "memscale");
 
     std::map<std::string, std::vector<std::size_t>> by_app;
     for (std::size_t i = 0; i < r.policy.coreApp.size(); ++i)

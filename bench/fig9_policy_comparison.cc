@@ -15,7 +15,9 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 9", "policy comparison, MID average", cfg);
 
     const std::vector<std::string> policies = {
@@ -23,33 +25,24 @@ main(int argc, char **argv)
         "memscale-memenergy", "memscale", "memscale-fastpd"};
 
     // Calibrated baselines per MID mix, shared across policies.
-    std::vector<std::pair<RunResult, Watts>> bases;
-    std::vector<SystemConfig> cfgs;
-    for (const MixSpec &mix : allMixes()) {
-        if (mix.klass != "MID")
-            continue;
-        SystemConfig c = cfg;
-        c.mixName = mix.name;
-        Watts rest = 0.0;
-        RunResult base = runBaseline(c, rest);
-        bases.emplace_back(std::move(base), rest);
-        cfgs.push_back(c);
-    }
+    std::vector<SystemConfig> cfgs = midConfigs(cfg);
+    std::vector<CalibratedBaseline> bases = runBaselines(eng, cfgs);
+    std::vector<ComparisonResult> results =
+        comparePolicyGrid(eng, cfgs, bases, policies);
 
     Table t({"policy", "sys energy saved", "mem energy saved",
              "avg CPI incr", "worst CPI incr"});
-    for (const std::string &p : policies) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
         double sys = 0.0, mem = 0.0, avg = 0.0, worst = 0.0;
         for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            ComparisonResult r = compareWithBase(
-                cfgs[i], bases[i].first, bases[i].second, p);
+            const ComparisonResult &r = results[p * cfgs.size() + i];
             sys += r.sysEnergySavings;
             mem += r.memEnergySavings;
             avg += r.avgCpiIncrease;
             worst = std::max(worst, r.worstCpiIncrease);
         }
         double n = static_cast<double>(cfgs.size());
-        t.addRow({p, pct(sys / n), pct(mem / n), pct(avg / n),
+        t.addRow({policies[p], pct(sys / n), pct(mem / n), pct(avg / n),
                   pct(worst)});
     }
     t.print("Fig. 9: MID-average energy savings by policy "

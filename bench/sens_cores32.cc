@@ -14,11 +14,13 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Sens. 32 cores",
                 "traffic scaling: 32 cores on 4 channels (MID)", cfg);
 
-    Table t({"cores", "mix", "sys energy saved", "worst CPI increase"});
+    std::vector<SweepCase> cases;
     for (std::uint32_t cores : {16u, 32u}) {
         for (const MixSpec &mix : allMixes()) {
             if (mix.klass != "MID")
@@ -26,11 +28,17 @@ main(int argc, char **argv)
             SystemConfig c = cfg;
             c.numCores = cores;
             c.mixName = mix.name;
-            ComparisonResult r = compare(c, "memscale");
-            t.addRow({std::to_string(cores), mix.name,
-                      pct(r.sysEnergySavings),
-                      pct(r.worstCpiIncrease)});
+            cases.push_back(SweepCase{std::move(c), "memscale"});
         }
+    }
+    std::vector<ComparisonResult> results = compareCases(eng, cases);
+
+    Table t({"cores", "mix", "sys energy saved", "worst CPI increase"});
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const ComparisonResult &r = results[i];
+        t.addRow({std::to_string(cases[i].cfg.numCores),
+                  cases[i].cfg.mixName, pct(r.sysEnergySavings),
+                  pct(r.worstCpiIncrease)});
     }
     t.print("32-core traffic scaling (paper: 7.6-10.4% savings at 32 "
             "cores, bound respected)");

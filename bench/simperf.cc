@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "cpu/core.hh"
+#include "harness/sweep.hh"
 #include "harness/system.hh"
 #include "mem/controller.hh"
 #include "memscale/policies/policy.hh"
@@ -36,6 +39,51 @@ BM_EventQueue(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventQueue);
+
+void
+BM_EventQueueCancel(benchmark::State &state)
+{
+    // Heavy cancel churn: half of all scheduled events are cancelled
+    // before they fire, exercising lazy purge + slab recycling.
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t fired = 0;
+        std::vector<EventId> ids;
+        ids.reserve(10000);
+        for (int i = 0; i < 10000; ++i)
+            ids.push_back(
+                eq.schedule(static_cast<Tick>(i * 7 % 9973),
+                            [&fired] { ++fired; }));
+        for (int i = 0; i < 10000; i += 2)
+            eq.cancel(ids[i]);
+        eq.runUntil();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void
+BM_SweepEngine(benchmark::State &state)
+{
+    // Fan 24 tiny systems out on the pool; items/sec tracks sweep
+    // scheduling overhead plus parallel scaling.
+    SweepEngine eng;
+    for (auto _ : state) {
+        std::vector<SweepCase> cases(24);
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            cases[i].cfg.mixName = allMixes()[i % 12].name;
+            cases[i].cfg.instrBudget = 20000;
+            cases[i].cfg.epochLen = msToTick(0.25);
+            cases[i].cfg.profileLen = usToTick(25.0);
+            cases[i].policy = "memscale";
+        }
+        auto results = compareCases(eng, cases);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 24);
+}
+BENCHMARK(BM_SweepEngine);
 
 void
 BM_ChannelRequests(benchmark::State &state)

@@ -12,17 +12,24 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     benchHeader("Table 1", "workload mixes: measured vs paper RPKI/WPKI",
                 cfg);
 
+    std::vector<SystemConfig> cfgs;
+    for (const MixSpec &mix : allMixes()) {
+        cfgs.push_back(cfg);
+        cfgs.back().mixName = mix.name;
+    }
+    std::vector<CalibratedBaseline> bases = runBaselines(eng, cfgs);
+
     Table t({"mix", "class", "RPKI paper", "RPKI meas", "WPKI paper",
              "WPKI meas", "applications (x4 each)"});
-    Watts rest = 0.0;
+    std::size_t i = 0;
     for (const MixSpec &mix : allMixes()) {
-        SystemConfig c = cfg;
-        c.mixName = mix.name;
-        RunResult base = runBaseline(c, rest);
+        const RunResult &base = bases[i++].base;
         std::string apps;
         for (const auto &a : mix.apps)
             apps += a + " ";

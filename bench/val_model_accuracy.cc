@@ -19,13 +19,16 @@ using namespace memscale;
 int
 main(int argc, char **argv)
 {
-    SystemConfig cfg = benchConfig(argc, argv);
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    SweepEngine eng = benchEngine(conf);
     cfg.mixName = "MID2";
     benchHeader("Validation", "perf-model predicted vs measured CPI",
                 cfg);
 
-    Watts rest = 0.0;
-    RunResult base = runBaseline(cfg, rest);
+    CalibratedBaseline cal = runBaselines(eng, {cfg})[0];
+    const RunResult &base = cal.base;
+    Watts rest = cal.rest;
 
     // Calibrate the model from whole-run counters of the baseline.
     // Cores finish at different times; scale each core's counts so
@@ -50,6 +53,17 @@ main(int argc, char **argv)
     PerfModel model(cfg.cpuGHz);
     model.calibrate(profile);
 
+    // Ground truth: run the whole memory subsystem statically at each
+    // grid frequency, all frequencies in parallel.
+    std::vector<RunResult> truth = eng.map<RunResult>(
+        numFreqPoints, [&](std::size_t f) {
+            SystemConfig c = cfg;
+            c.restWatts = rest;
+            StaticPolicy policy(busFreqGridMHz[f]);
+            System sys(c, policy);
+            return sys.run();
+        });
+
     Table t({"bus MHz", "predicted CPI", "measured CPI", "error"});
     double worst_err = 0.0;
     for (FreqIndex f = 0; f < numFreqPoints; ++f) {
@@ -58,12 +72,7 @@ main(int argc, char **argv)
             predicted += model.cpi(c, f);
         predicted /= cfg.numCores;
 
-        SystemConfig c = cfg;
-        c.restWatts = rest;
-        StaticPolicy policy(busFreqGridMHz[f]);
-        System sys(c, policy);
-        RunResult run = sys.run();
-        double measured = run.avgCpi();
+        double measured = truth[f].avgCpi();
         double err = predicted / measured - 1.0;
         worst_err = std::max(worst_err, std::abs(err));
         t.addRow({std::to_string(busFreqGridMHz[f]), fmt(predicted, 3),

@@ -4,7 +4,10 @@
  * on one workload mix and print the savings/performance frontier.
  *
  * Usage: policy_explorer [mix=MID3] [budget=3000000] [gamma=0.10]
- *                        [channels=4] [cores=16]
+ *                        [channels=4] [cores=16] [jobs=N]
+ *
+ * The per-policy runs fan out on the shared sweep engine; results are
+ * printed in registration order regardless of completion order.
  */
 
 #include <cstdio>
@@ -12,6 +15,7 @@
 #include "common/config.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace memscale;
 
@@ -39,19 +43,29 @@ main(int argc, char **argv)
     std::printf("Comparing all policies on %s (gamma=%.0f%%)\n",
                 cfg.mixName.c_str(), cfg.gamma * 100.0);
 
+    SweepEngine eng(checkedJobs(conf.getInt("jobs", 0)));
+
     Watts rest = 0.0;
     RunResult base = runBaseline(cfg, rest);
     std::printf("baseline: %.2f ms, %.2f W system "
                 "(rest-of-system calibrated to %.1f W)\n",
                 tickToMs(base.runtime), base.avgSystemPower, rest);
 
+    std::vector<std::string> names;
+    for (const std::string &name : policyNames()) {
+        if (name != "baseline")
+            names.push_back(name);
+    }
+    std::vector<ComparisonResult> results =
+        eng.map<ComparisonResult>(names.size(), [&](std::size_t i) {
+            return compareWithBase(cfg, base, rest, names[i]);
+        });
+
     Table t({"policy", "sys saved", "mem saved", "avg CPI incr",
              "worst CPI incr", "runtime (ms)"});
-    for (const std::string &name : policyNames()) {
-        if (name == "baseline")
-            continue;
-        ComparisonResult r = compareWithBase(cfg, base, rest, name);
-        t.addRow({name, pct(r.sysEnergySavings),
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const ComparisonResult &r = results[i];
+        t.addRow({names[i], pct(r.sysEnergySavings),
                   pct(r.memEnergySavings), pct(r.avgCpiIncrease),
                   pct(r.worstCpiIncrease),
                   fmt(tickToMs(r.policy.runtime))});

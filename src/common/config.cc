@@ -13,11 +13,25 @@ void
 Config::parseArgs(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        const char *eq = std::strchr(argv[i], '=');
-        if (!eq || eq == argv[i])
+        const char *arg = argv[i];
+        // GNU-style flags: `--key=value` and `--key value` are
+        // accepted as synonyms for `key=value`.
+        if (arg[0] == '-' && arg[1] == '-' && arg[2] != '\0') {
+            const char *key = arg + 2;
+            const char *eq = std::strchr(key, '=');
+            if (eq && eq != key) {
+                values_[std::string(key, eq - key)] =
+                    std::string(eq + 1);
+            } else if (!eq && i + 1 < argc &&
+                       !std::strchr(argv[i + 1], '=')) {
+                values_[key] = argv[++i];
+            }
             continue;
-        values_[std::string(argv[i], eq - argv[i])] =
-            std::string(eq + 1);
+        }
+        const char *eq = std::strchr(arg, '=');
+        if (!eq || eq == arg)
+            continue;
+        values_[std::string(arg, eq - arg)] = std::string(eq + 1);
     }
 }
 

@@ -24,8 +24,9 @@ class Config
     Config() = default;
 
     /**
-     * Parse argv entries of the form key=value.  Entries that do not
-     * contain '=' are ignored (so google-benchmark flags pass through).
+     * Parse argv entries of the form key=value, --key=value, or
+     * --key value.  Other entries are ignored (so google-benchmark
+     * flags pass through).
      */
     void parseArgs(int argc, char **argv);
 

@@ -16,6 +16,40 @@
 namespace memscale
 {
 
+/** The splitmix64 additive constant (golden-ratio gamma). */
+inline constexpr std::uint64_t splitmix64Gamma = 0x9e3779b97f4a7c15ull;
+
+/**
+ * splitmix64 finalizer: a bijective avalanche mix of a 64-bit value.
+ * Used to expand seeds into generator state and to derive independent
+ * per-index seeds.
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Derive the `index`-th child seed of `base`.
+ *
+ * Scheme: splitmix64(base + (index + 1) * gamma), i.e. element
+ * index+1 of the splitmix64 stream seeded with `base`.  Unlike the
+ * old additive scheme (base + index * 7919), where seed S with index i
+ * collides with seed S + 7919 at index i - 1, two base seeds here can
+ * only alias when they differ by an exact multiple of the 64-bit
+ * gamma constant — never for the small seed offsets users actually
+ * pick — and the bijective finalizer decorrelates neighbouring
+ * streams.  index 0 never returns `base` itself.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    return splitmix64(base + (index + 1) * splitmix64Gamma);
+}
+
 /**
  * xoshiro256** PRNG.  Fast, high quality, and trivially seedable from a
  * single 64-bit value via splitmix64.
@@ -28,11 +62,8 @@ class Rng
         // splitmix64 expansion of the seed into the four state words.
         std::uint64_t z = seed;
         for (auto &word : state_) {
-            z += 0x9e3779b97f4a7c15ull;
-            std::uint64_t s = z;
-            s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ull;
-            s = (s ^ (s >> 27)) * 0x94d049bb133111ebull;
-            word = s ^ (s >> 31);
+            z += splitmix64Gamma;
+            word = splitmix64(z);
         }
     }
 

@@ -16,7 +16,12 @@ namespace memscale
 
 /**
  * Streaming scalar accumulator: count, sum, mean, min, max, and
- * variance via Welford's algorithm.
+ * variance via Welford's online algorithm.  Welford keeps the running
+ * mean and the centred sum of squares (m2) instead of sum and
+ * sum-of-squares, so long sweeps of near-identical values (e.g. a
+ * savings metric across thousands of seeds) do not suffer the
+ * catastrophic cancellation of the naive E[x^2] - E[x]^2 formula,
+ * and the variance can never be driven negative by rounding.
  */
 class Accumulator
 {
@@ -35,6 +40,34 @@ class Accumulator
         m2_ += delta * (x - mean_);
     }
 
+    /**
+     * Fold another accumulator in (Chan et al.'s parallel Welford
+     * update), as if every sample of `o` had been add()ed here.  Lets
+     * per-shard accumulators from a parallel sweep combine into the
+     * same statistics a serial pass would produce (up to rounding).
+     */
+    void
+    merge(const Accumulator &o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = o;
+            return;
+        }
+        double na = static_cast<double>(count_);
+        double nb = static_cast<double>(o.count_);
+        double delta = o.mean_ - mean_;
+        mean_ += delta * nb / (na + nb);
+        m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+        count_ += o.count_;
+        sum_ += o.sum_;
+        if (o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+    }
+
     void
     reset()
     {
@@ -50,7 +83,12 @@ class Accumulator
     double
     variance() const
     {
-        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+        if (count_ < 2)
+            return 0.0;
+        // m2 is non-negative by construction; clamp anyway so a stray
+        // -0.0 or rounding residue can never reach sqrt().
+        double v = m2_ / static_cast<double>(count_ - 1);
+        return v > 0.0 ? v : 0.0;
     }
 
     double stddev() const;

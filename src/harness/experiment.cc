@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
+#include "harness/sweep.hh"
 
 namespace memscale
 {
@@ -96,16 +98,22 @@ compare(const SystemConfig &cfg, const std::string &policy)
 }
 
 AveragedComparison
-compareAveraged(const SystemConfig &cfg, const std::string &policy,
-                std::size_t seeds)
+compareAveraged(const SweepEngine &eng, const SystemConfig &cfg,
+                const std::string &policy, std::size_t seeds)
 {
     if (seeds == 0)
         fatal("compareAveraged: need at least one seed");
-    Accumulator mem, sys, worst;
+    std::vector<SweepCase> cases(seeds);
     for (std::size_t i = 0; i < seeds; ++i) {
-        SystemConfig c = cfg;
-        c.seed = cfg.seed + i * 7919;
-        ComparisonResult r = compare(c, policy);
+        cases[i].cfg = cfg;
+        cases[i].cfg.seed = deriveSeed(cfg.seed, i);
+        cases[i].policy = policy;
+    }
+    std::vector<ComparisonResult> results = compareCases(eng, cases);
+    // Accumulate in seed order (results are indexed by task), so the
+    // summary is bit-identical no matter how many threads ran it.
+    Accumulator mem, sys, worst;
+    for (const ComparisonResult &r : results) {
         mem.add(r.memEnergySavings);
         sys.add(r.sysEnergySavings);
         worst.add(r.worstCpiIncrease);
@@ -119,6 +127,16 @@ compareAveraged(const SystemConfig &cfg, const std::string &policy,
     out.worstCpiIncrease = summarize(worst);
     out.seeds = seeds;
     return out;
+}
+
+AveragedComparison
+compareAveraged(const SystemConfig &cfg, const std::string &policy,
+                std::size_t seeds)
+{
+    if (seeds == 0)
+        fatal("compareAveraged: need at least one seed");
+    SweepEngine eng;
+    return compareAveraged(eng, cfg, policy, seeds);
 }
 
 } // namespace memscale

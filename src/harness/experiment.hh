@@ -16,6 +16,8 @@
 namespace memscale
 {
 
+class SweepEngine;
+
 /** Baseline-relative outcome of one policy on one mix. */
 struct ComparisonResult
 {
@@ -69,10 +71,19 @@ struct AveragedComparison
 };
 
 /**
- * Repeat compare() over `seeds` derived seeds and summarize.  Useful
- * for judging whether an effect exceeds synthetic-workload noise.
+ * Repeat compare() over `seeds` seeds derived via deriveSeed() (see
+ * common/rng.hh) and summarize.  Useful for judging whether an effect
+ * exceeds synthetic-workload noise.  Runs on its own sweep pool sized
+ * by resolveJobs(); statistics are accumulated in seed order, so the
+ * summary is identical for any thread count.
  */
 AveragedComparison compareAveraged(const SystemConfig &cfg,
+                                   const std::string &policy,
+                                   std::size_t seeds);
+
+/** As above, fanning the per-seed runs out on an existing engine. */
+AveragedComparison compareAveraged(const SweepEngine &eng,
+                                   const SystemConfig &cfg,
                                    const std::string &policy,
                                    std::size_t seeds);
 

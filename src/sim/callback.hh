@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable for the event kernel.
+ *
+ * `std::function` heap-allocates for any capture larger than its
+ * (implementation-defined, typically 16-byte) inline buffer and drags
+ * in copy-constructibility requirements the kernel never uses.  Every
+ * `schedule()` in the hot path would pay that allocation.  EventCallback
+ * stores captures of up to 48 bytes inline — which covers every
+ * callback the simulator schedules (`[this, r]`-style closures) — and
+ * only falls back to the heap for oversized or throwing-move captures.
+ */
+
+#ifndef MEMSCALE_SIM_CALLBACK_HH
+#define MEMSCALE_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace memscale
+{
+
+class EventCallback
+{
+  public:
+    /** Captures up to this size (and max_align_t alignment) stay inline. */
+    static constexpr std::size_t InlineCapacity = 48;
+
+    EventCallback() noexcept = default;
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, EventCallback> &&
+                  std::is_invocable_r_v<void, D &>>>
+    EventCallback(F &&f)   // NOLINT: implicit by design, mirrors std::function
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            *reinterpret_cast<D **>(buf_) = new D(std::forward<F>(f));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    EventCallback(EventCallback &&o) noexcept
+    {
+        if (o.ops_) {
+            o.ops_->relocate(buf_, o.buf_);
+            ops_ = o.ops_;
+            o.ops_ = nullptr;
+        }
+    }
+
+    EventCallback &
+    operator=(EventCallback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            if (o.ops_) {
+                o.ops_->relocate(buf_, o.buf_);
+                ops_ = o.ops_;
+                o.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** True when the given callable would avoid the heap fallback. */
+    template <typename F>
+    static constexpr bool
+    storedInline()
+    {
+        return fitsInline<std::decay_t<F>>();
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= InlineCapacity &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*std::launder(reinterpret_cast<D *>(p)))(); },
+        [](void *dst, void *src) noexcept {
+            D *s = std::launder(reinterpret_cast<D *>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        },
+        [](void *p) noexcept {
+            std::launder(reinterpret_cast<D *>(p))->~D();
+        },
+    };
+
+    template <typename D>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**reinterpret_cast<D **>(p))(); },
+        [](void *dst, void *src) noexcept {
+            *reinterpret_cast<D **>(dst) = *reinterpret_cast<D **>(src);
+        },
+        [](void *p) noexcept { delete *reinterpret_cast<D **>(p); },
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[InlineCapacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_SIM_CALLBACK_HH

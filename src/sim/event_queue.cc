@@ -1,45 +1,134 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace memscale
 {
 
+namespace
+{
+
+/** Comparator turning std::*_heap (max-heap by default) into a min-heap. */
+struct EntryGreater
+{
+    template <typename E>
+    bool
+    operator()(const E &a, const E &b) const
+    {
+        return a > b;
+    }
+};
+
+} // namespace
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead_ != NoSlot) {
+        std::uint32_t idx = freeHead_;
+        freeHead_ = slots_[idx].nextFree;
+        return idx;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t idx)
+{
+    Slot &s = slots_[idx];
+    s.fn.reset();
+    s.live = false;
+    // Bumping the generation invalidates every outstanding EventId for
+    // this slot; skip 0 on wrap so InvalidEventId never matches.
+    if (++s.gen == 0)
+        s.gen = 1;
+    s.nextFree = freeHead_;
+    freeHead_ = idx;
+}
+
 EventId
-EventQueue::schedule(Tick when, std::function<void()> fn, EventClass cls)
+EventQueue::schedule(Tick when, EventCallback fn, EventClass cls)
 {
     if (when < now_)
         panic("event scheduled in the past (when=%llu now=%llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
-    EventId id = nextSeq_++;
-    heap_.push(Entry{when, static_cast<std::uint8_t>(cls), id, id,
-                     std::move(fn)});
-    live_.insert(id);
-    return id;
+    std::uint32_t slot = allocSlot();
+    Slot &s = slots_[slot];
+    s.fn = std::move(fn);
+    s.live = true;
+    std::uint64_t seq = nextSeq_++;
+    heap_.push_back(Entry{when, seq, slot, s.gen,
+                          static_cast<std::uint8_t>(cls)});
+    std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    ++pending_;
+    return (static_cast<EventId>(s.gen) << 32) | slot;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // Cancellation is lazy: the heap entry is skipped when popped.
-    return live_.erase(id) > 0;
+    std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+    std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots_.size() || !slots_[slot].live ||
+        slots_[slot].gen != gen) {
+        return false;
+    }
+    // Lazy cancellation: destroy the callback and recycle the slot now
+    // (the generation bump marks the heap entry stale); the entry
+    // itself is purged when it reaches the top or at compaction.
+    releaseSlot(slot);
+    --pending_;
+    ++stale_;
+    maybeCompact();
+    return true;
+}
+
+void
+EventQueue::purgeTop()
+{
+    while (!heap_.empty() && !liveEntry(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+        heap_.pop_back();
+        --stale_;
+    }
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // After heavy cancel churn stale entries can dominate the heap;
+    // filtering and re-heapifying is O(n) and keeps memory bounded by
+    // the live event count.  The rebuilt heap pops in the exact same
+    // (tick, class, seq) order, so results are unaffected.
+    if (stale_ < 64 || stale_ * 2 < heap_.size())
+        return;
+    std::erase_if(heap_, [this](const Entry &e) { return !liveEntry(e); });
+    std::make_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    stale_ = 0;
 }
 
 bool
 EventQueue::step()
 {
-    while (!heap_.empty()) {
-        // The entry must be moved out before pop; top() is const.
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
-        if (live_.erase(e.id) == 0)
-            continue;   // cancelled
-        now_ = e.when;
-        e.fn();
-        return true;
-    }
-    return false;
+    purgeTop();
+    if (heap_.empty())
+        return false;
+    Entry e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    heap_.pop_back();
+    // Release the slot before invoking so the callback can freely
+    // schedule new events (possibly reusing this slot) and so
+    // cancelling the in-flight id is a no-op, as documented.
+    EventCallback fn = std::move(slots_[e.slot].fn);
+    releaseSlot(e.slot);
+    --pending_;
+    now_ = e.when;
+    fn();
+    return true;
 }
 
 std::uint64_t
@@ -47,9 +136,9 @@ EventQueue::runUntil(Tick limit)
 {
     stopped_ = false;
     std::uint64_t executed = 0;
-    while (!heap_.empty() && !stopped_) {
-        const Entry &top = heap_.top();
-        if (top.when > limit)
+    while (!stopped_) {
+        purgeTop();
+        if (heap_.empty() || heap_.front().when > limit)
             break;
         if (step())
             ++executed;

@@ -6,23 +6,34 @@
  * (priority, insertion sequence) so simulations are reproducible
  * regardless of heap internals.  Events can be cancelled via the
  * EventId returned at scheduling time.
+ *
+ * Internals are built for throughput: callbacks live in a slab of
+ * pooled slots recycled through a free list (no per-event heap
+ * allocation for captures up to EventCallback::InlineCapacity bytes),
+ * heap entries are trivially-copyable PODs, and cancellation is lazy —
+ * a cancelled event's slot is released immediately while its heap
+ * entry is purged when it surfaces at the top (or during periodic
+ * compaction after heavy cancel churn).  EventIds carry a generation
+ * so a recycled slot can never be cancelled through a stale id.
  */
 
 #ifndef MEMSCALE_SIM_EVENT_QUEUE_HH
 #define MEMSCALE_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/callback.hh"
 
 namespace memscale
 {
 
-/** Handle to a scheduled event, usable for cancellation. */
+/**
+ * Handle to a scheduled event, usable for cancellation.  Packs a slab
+ * slot index (low 32 bits) with the slot's generation at scheduling
+ * time (high 32 bits); generations start at 1, so no valid id is 0.
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel id for "no event". */
@@ -52,12 +63,12 @@ class EventQueue
      * Schedule fn at absolute tick `when` (>= now).
      * @return an id usable with cancel().
      */
-    EventId schedule(Tick when, std::function<void()> fn,
+    EventId schedule(Tick when, EventCallback fn,
                      EventClass cls = EventClass::Hardware);
 
     /** Schedule fn `delta` ticks from now. */
     EventId
-    scheduleIn(Tick delta, std::function<void()> fn,
+    scheduleIn(Tick delta, EventCallback fn,
                EventClass cls = EventClass::Hardware)
     {
         return schedule(now_ + delta, std::move(fn), cls);
@@ -65,14 +76,16 @@ class EventQueue
 
     /**
      * Cancel a pending event.  Cancelling an already-fired or unknown
-     * id is a harmless no-op (returns false).
+     * id is a harmless no-op (returns false).  The callback (and any
+     * resources it captured) is destroyed immediately; the heap entry
+     * is reclaimed lazily.
      */
     bool cancel(EventId id);
 
-    /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return live_.size(); }
+    /** Number of pending (non-cancelled) events.  Exact at all times. */
+    std::size_t pending() const { return pending_; }
 
-    bool empty() const { return live_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /**
      * Run events until the queue drains or `limit` ticks is passed.
@@ -88,14 +101,19 @@ class EventQueue
     void stop() { stopped_ = true; }
 
   private:
+    /**
+     * Heap entry: trivially copyable, so priority-queue sift
+     * operations are plain moves of 32 bytes.  The callback lives in
+     * slots_[slot]; `gen` detects entries whose event was cancelled
+     * (the slot was released and its generation bumped).
+     */
     struct Entry
     {
         Tick when;
-        std::uint8_t cls;
         std::uint64_t seq;
-        EventId id;
-        std::function<void()> fn;
-        bool cancelled = false;
+        std::uint32_t slot;
+        std::uint32_t gen;
+        std::uint8_t cls;
 
         bool
         operator>(const Entry &o) const
@@ -108,9 +126,38 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    /** Ids scheduled but neither fired nor cancelled. */
-    std::unordered_set<EventId> live_;
+    /** Pooled callback storage, recycled through freeHead_. */
+    struct Slot
+    {
+        EventCallback fn;
+        std::uint32_t gen = 1;
+        std::uint32_t nextFree = NoSlot;
+        bool live = false;
+    };
+
+    static constexpr std::uint32_t NoSlot = ~std::uint32_t(0);
+
+    bool liveEntry(const Entry &e) const
+    {
+        return slots_[e.slot].live && slots_[e.slot].gen == e.gen;
+    }
+
+    /** Pop cancelled entries off the heap top. */
+    void purgeTop();
+
+    /** Drop all stale entries when they dominate the heap. */
+    void maybeCompact();
+
+    std::uint32_t allocSlot();
+    void releaseSlot(std::uint32_t idx);
+
+    /** Min-heap over Entry (via make/push/pop_heap with operator>). */
+    std::vector<Entry> heap_;
+    std::vector<Slot> slots_;
+    std::uint32_t freeHead_ = NoSlot;
+    std::size_t pending_ = 0;
+    /** Heap entries whose event has been cancelled but not yet popped. */
+    std::size_t stale_ = 0;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;
     bool stopped_ = false;

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+
 #include "common/config.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -98,6 +101,37 @@ TEST(Rng, ForkIndependence)
     EXPECT_NE(a.next(), child.next());
 }
 
+TEST(Rng, SplitMix64KnownValues)
+{
+    // Reference values of the splitmix64 stream seeded with 0
+    // (Vigna's test vector / wikipedia reference implementation).
+    EXPECT_EQ(splitmix64(0x9e3779b97f4a7c15ull),
+              0xe220a8397b1dcdafull);
+    // The finalizer is a bijection, so distinct inputs cannot agree.
+    EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(Rng, DeriveSeedNoAdjacentCollisions)
+{
+    // The old additive scheme (base + i * 7919) collided across
+    // adjacent bases; the splitmix64 scheme must keep every derived
+    // stream of nearby base seeds distinct.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base = 12345; base < 12345 + 64; ++base)
+        for (std::uint64_t i = 0; i < 64; ++i)
+            seen.insert(deriveSeed(base, i));
+    EXPECT_EQ(seen.size(), 64u * 64u);
+    // index 0 is already decorrelated from the base seed.
+    EXPECT_NE(deriveSeed(99, 0), 99u);
+}
+
+TEST(Rng, DeriveSeedDeterministic)
+{
+    EXPECT_EQ(deriveSeed(7, 3), deriveSeed(7, 3));
+    EXPECT_NE(deriveSeed(7, 3), deriveSeed(7, 4));
+    EXPECT_NE(deriveSeed(7, 3), deriveSeed(8, 3));
+}
+
 TEST(Accumulator, Basic)
 {
     Accumulator a;
@@ -117,6 +151,64 @@ TEST(Accumulator, Empty)
     EXPECT_EQ(a.count(), 0u);
     EXPECT_DOUBLE_EQ(a.mean(), 0.0);
     EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, WelfordResistsCatastrophicCancellation)
+{
+    // A long sweep of near-identical large values: the naive
+    // E[x^2] - E[x]^2 formula loses all significant digits here (and
+    // can go negative); Welford's online update must not.
+    Accumulator a;
+    const double base = 1e9;
+    for (int i = 0; i < 100000; ++i)
+        a.add(base + (i % 2 ? 1e-3 : -1e-3));
+    EXPECT_GE(a.variance(), 0.0);
+    EXPECT_NEAR(a.variance(), 1e-6, 1e-8);
+    EXPECT_GE(a.stddev(), 0.0);
+    EXPECT_NEAR(a.mean(), base, 1e-3);
+}
+
+TEST(Accumulator, VarianceNeverNegative)
+{
+    // Identical samples: variance must clamp to exactly 0, not a
+    // tiny negative rounding residue.
+    Accumulator a;
+    for (int i = 0; i < 1000; ++i)
+        a.add(0.1 + 1e9);
+    EXPECT_GE(a.variance(), 0.0);
+    EXPECT_GE(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesSerial)
+{
+    // Chan's parallel merge must agree with one serial pass.
+    Accumulator serial, left, right;
+    Rng rng(77);
+    for (int i = 0; i < 2000; ++i) {
+        double x = rng.uniform(-5.0, 5.0);
+        serial.add(x);
+        (i < 700 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), serial.count());
+    EXPECT_NEAR(left.mean(), serial.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), serial.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), serial.min());
+    EXPECT_DOUBLE_EQ(left.max(), serial.max());
+    EXPECT_GE(left.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
 TEST(Histogram, BucketsAndPercentiles)
@@ -149,6 +241,29 @@ TEST(Config, ParseAndTypes)
     EXPECT_DOUBLE_EQ(c.getDouble("gamma", 0.0), 0.05);
     EXPECT_TRUE(c.getBool("verbose", false));
     EXPECT_EQ(c.getInt("missing", 7), 7);
+}
+
+TEST(Config, DashDashForms)
+{
+    // Sweep drivers take --jobs 8 / --jobs=8 alongside bare key=value.
+    Config c;
+    const char *argv[] = {"prog", "--jobs=8",  "--mix",  "MEM3",
+                          "seed=5", "--verbose", "true"};
+    c.parseArgs(7, const_cast<char **>(argv));
+    EXPECT_EQ(c.getInt("jobs", 0), 8);
+    EXPECT_EQ(c.getString("mix", "x"), "MEM3");
+    EXPECT_EQ(c.getInt("seed", 0), 5);
+    EXPECT_TRUE(c.getBool("verbose", false));
+}
+
+TEST(Config, DashDashFlagBeforeKeyValue)
+{
+    // "--flag key=value": the next arg contains '=', so it must not be
+    // consumed as --flag's value.
+    Config c;
+    const char *argv[] = {"prog", "--fast", "budget=10"};
+    c.parseArgs(3, const_cast<char **>(argv));
+    EXPECT_EQ(c.getInt("budget", 0), 10);
 }
 
 TEST(Config, BadValuesFatal)

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: thread-count invariance of
+ * results, exception propagation out of worker tasks,
+ * oversubscription, and the experiment-level helpers.  Built with
+ * -DMEMSCALE_TSAN=ON this suite doubles as the data-race check for
+ * the pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "harness/sweep.hh"
+#include "workload/mixes.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+/** A cheap deterministic stand-in for a simulation run. */
+std::uint64_t
+hashTask(std::size_t i)
+{
+    std::uint64_t h = deriveSeed(42, i);
+    for (int k = 0; k < 100; ++k)
+        h = splitmix64(h + k);
+    return h;
+}
+
+SystemConfig
+tinyConfig(const std::string &mix)
+{
+    SystemConfig cfg;
+    cfg.mixName = mix;
+    cfg.instrBudget = 50000;
+    cfg.epochLen = msToTick(0.25);
+    cfg.profileLen = usToTick(25.0);
+    return cfg;
+}
+
+} // namespace
+
+TEST(SweepEngine, ResolveJobsPrefersExplicit)
+{
+    EXPECT_EQ(resolveJobs(3), 3u);
+    EXPECT_GE(resolveJobs(0), 1u);
+}
+
+TEST(SweepEngine, CheckedJobsGuardsUserInput)
+{
+    // A negative jobs= must die cleanly, not get cast to unsigned and
+    // spawn four billion threads; absurd values clamp to MaxJobs.
+    EXPECT_THROW(checkedJobs(-3), FatalError);
+    EXPECT_EQ(checkedJobs(0), 0u);
+    EXPECT_EQ(checkedJobs(8), 8u);
+    EXPECT_EQ(checkedJobs(1ll << 40), MaxJobs);
+}
+
+TEST(SweepEngine, MapPreservesTaskOrder)
+{
+    SweepEngine eng(4);
+    std::vector<std::uint64_t> out = eng.map<std::uint64_t>(
+        100, [](std::size_t i) { return hashTask(i); });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], hashTask(i)) << "task " << i;
+}
+
+TEST(SweepEngine, ThreadCountInvariance)
+{
+    // 1, 2, and 8 threads must produce identical aggregated results
+    // (results are keyed by task index, not completion order).
+    std::vector<std::vector<std::uint64_t>> runs;
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        SweepEngine eng(jobs);
+        EXPECT_EQ(eng.jobs(), jobs);
+        runs.push_back(eng.map<std::uint64_t>(
+            257, [](std::size_t i) { return hashTask(i * 31); }));
+    }
+    EXPECT_EQ(runs[0], runs[1]);
+    EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(SweepEngine, ThreadCountInvarianceFullRuns)
+{
+    // End-to-end: whole-system comparisons must not depend on the
+    // worker count either (each task owns its System + EventQueue).
+    auto sweep = [](unsigned jobs) {
+        SweepEngine eng(jobs);
+        std::vector<SweepCase> cases;
+        for (const char *mix : {"ILP1", "MID2", "MEM2"})
+            cases.push_back(SweepCase{tinyConfig(mix), "memscale"});
+        std::vector<double> out;
+        for (const ComparisonResult &r : compareCases(eng, cases)) {
+            out.push_back(r.memEnergySavings);
+            out.push_back(r.sysEnergySavings);
+            out.push_back(r.worstCpiIncrease);
+        }
+        return out;
+    };
+    std::vector<double> serial = sweep(1);
+    std::vector<double> parallel = sweep(8);
+    // Byte-identical, not approximately equal.
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "metric " << i;
+}
+
+TEST(SweepEngine, Oversubscription)
+{
+    // Far more tasks than workers: everything still runs exactly once.
+    SweepEngine eng(8);
+    std::vector<std::atomic<int>> hits(500);
+    eng.forEach(500, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(SweepEngine, MoreWorkersThanTasks)
+{
+    SweepEngine eng(8);
+    std::vector<std::uint64_t> out =
+        eng.map<std::uint64_t>(3, [](std::size_t i) { return i + 7; });
+    EXPECT_EQ(out, (std::vector<std::uint64_t>{7, 8, 9}));
+}
+
+TEST(SweepEngine, EmptyBatch)
+{
+    SweepEngine eng(4);
+    int calls = 0;
+    eng.forEach(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(SweepEngine, ExceptionPropagates)
+{
+    SweepEngine eng(4);
+    EXPECT_THROW(
+        eng.forEach(50,
+                    [](std::size_t i) {
+                        if (i == 13)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+}
+
+TEST(SweepEngine, LowestIndexedExceptionWins)
+{
+    // Several tasks fail; the rethrown error must deterministically be
+    // the lowest-indexed one, regardless of completion order.
+    SweepEngine eng(8);
+    for (int round = 0; round < 5; ++round) {
+        try {
+            eng.forEach(64, [](std::size_t i) {
+                if (i % 2 == 1)
+                    throw std::runtime_error(std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "1");
+        }
+    }
+}
+
+TEST(SweepEngine, RemainingTasksRunAfterFailure)
+{
+    SweepEngine eng(4);
+    std::vector<std::atomic<int>> hits(40);
+    EXPECT_THROW(eng.forEach(40,
+                             [&](std::size_t i) {
+                                 hits[i].fetch_add(1);
+                                 if (i == 0)
+                                     throw std::runtime_error("x");
+                             }),
+                 std::runtime_error);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(SweepEngine, FatalErrorPropagates)
+{
+    SweepEngine eng(2);
+    EXPECT_THROW(eng.forEach(4,
+                             [](std::size_t i) {
+                                 if (i == 2)
+                                     fatal("task-level user error");
+                             }),
+                 FatalError);
+}
+
+TEST(SweepEngine, ReusableAcrossBatches)
+{
+    SweepEngine eng(4);
+    for (int round = 0; round < 10; ++round) {
+        std::vector<std::uint64_t> out = eng.map<std::uint64_t>(
+            17, [round](std::size_t i) { return i * (round + 1); });
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], i * (round + 1));
+    }
+}
+
+TEST(SweepHelpers, CompareAveragedMatchesEngineOverload)
+{
+    SystemConfig cfg = tinyConfig("MID1");
+    AveragedComparison serial = compareAveraged(cfg, "memscale", 3);
+    SweepEngine eng(8);
+    AveragedComparison parallel =
+        compareAveraged(eng, cfg, "memscale", 3);
+    EXPECT_EQ(serial.seeds, parallel.seeds);
+    EXPECT_EQ(serial.memEnergySavings.mean,
+              parallel.memEnergySavings.mean);
+    EXPECT_EQ(serial.memEnergySavings.stddev,
+              parallel.memEnergySavings.stddev);
+    EXPECT_EQ(serial.sysEnergySavings.mean,
+              parallel.sysEnergySavings.mean);
+    EXPECT_EQ(serial.worstCpiIncrease.max,
+              parallel.worstCpiIncrease.max);
+    EXPECT_GE(serial.memEnergySavings.stddev, 0.0);
+}
+
+TEST(SweepHelpers, PolicyGridIndexing)
+{
+    SweepEngine eng(4);
+    std::vector<SystemConfig> cfgs = {tinyConfig("MID1"),
+                                      tinyConfig("MEM2")};
+    std::vector<CalibratedBaseline> bases = runBaselines(eng, cfgs);
+    ASSERT_EQ(bases.size(), 2u);
+    EXPECT_GT(bases[0].rest, 0.0);
+
+    std::vector<std::string> policies = {"static", "memscale"};
+    std::vector<ComparisonResult> grid =
+        comparePolicyGrid(eng, cfgs, bases, policies);
+    ASSERT_EQ(grid.size(), 4u);
+    // Row-major by policy: [p * cfgs + i].
+    EXPECT_EQ(grid[0].policy.policyName, "static");
+    EXPECT_EQ(grid[0].policy.mixName, "MID1");
+    EXPECT_EQ(grid[1].policy.mixName, "MEM2");
+    EXPECT_EQ(grid[2].policy.policyName, "memscale");
+    EXPECT_EQ(grid[3].policy.policyName, "memscale");
+    EXPECT_EQ(grid[3].policy.mixName, "MEM2");
+}
