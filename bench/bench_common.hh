@@ -19,8 +19,10 @@
 #define MEMSCALE_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/config.hh"
+#include "harness/differential.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
@@ -127,6 +129,42 @@ runMidSweep(const SweepEngine &eng, const SystemConfig &cfg,
             const std::string &policy = "memscale")
 {
     return runMidSweeps(eng, {cfg}, policy)[0];
+}
+
+/**
+ * Differential self-check mode (`--check`, `check=1`, or
+ * MEMSCALE_CHECK=1): instead of regenerating the figure, run the
+ * driver's configuration through the DifferentialHarness — reference
+ * event kernel vs. the production fast path, and sweep jobs=1 vs.
+ * jobs=N — with the DDR3 protocol checker attached to every run.
+ *
+ * Returns the process exit code (0 = all identical) when the check
+ * ran, or -1 when --check was not requested and the figure should be
+ * produced as usual.
+ */
+inline int
+maybeSelfCheck(int argc, char **argv, const Config &conf,
+               const SystemConfig &cfg)
+{
+    bool want = conf.getBool("check", false);
+    // A bare trailing `--check` has no value for the key=value parser
+    // to pick up; accept it directly.
+    for (int i = 1; i < argc && !want; ++i)
+        want = std::strcmp(argv[i], "--check") == 0;
+    if (!want)
+        return -1;
+
+    SystemConfig c = cfg;
+    c.protocolCheck = true;
+    unsigned jobs = checkedJobs(conf.getInt("jobs", 0));
+    std::fprintf(stderr,
+                 "self-check: kernel + sweep differentials on %s "
+                 "(jobs=%u)\n",
+                 c.mixName.c_str(), resolveJobs(jobs));
+    std::size_t failures = runSelfCheck(c, jobs);
+    std::fprintf(stderr, "self-check %s\n",
+                 failures == 0 ? "PASSED" : "FAILED");
+    return failures == 0 ? 0 : 1;
 }
 
 inline void

@@ -17,6 +17,8 @@ main(int argc, char **argv)
 {
     Config conf;
     SystemConfig cfg = benchConfig(argc, argv, &conf);
+    if (int rc = maybeSelfCheck(argc, argv, conf, cfg); rc >= 0)
+        return rc;
     SweepEngine eng = benchEngine(conf);
     benchHeader("Figure 5", "MemScale energy savings per mix", cfg);
 

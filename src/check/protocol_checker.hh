@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Online DDR3 protocol checker.
+ *
+ * Subscribes to the channel command stream (check/command_observer)
+ * and validates every inter-command timing constraint the simulator
+ * claims to honor — tRCD, tRP, tRAS, tRRD, tFAW, refresh busy
+ * windows, powerdown exit latencies, and frequency re-lock quiescence
+ * — including across MemScale frequency transitions, where the
+ * parameters in effect at each command's issue tick are used.
+ *
+ * Violations are recorded with full tick/channel/rank/bank provenance;
+ * under strict mode (MEMSCALE_STRICT=1 in the environment, the
+ * MEMSCALE_STRICT=ON build option, or an explicit constructor flag)
+ * the first violation terminates the run via fatal().
+ *
+ * Known model simplifications the checker deliberately does NOT flag:
+ * refresh issuing while rows are latched open (the simulator models
+ * refresh as a bank-availability window, and the open-page ablation
+ * keeps rows open across refreshes), and the tWTR/tCCD column-command
+ * spacings (subsumed by data-bus serialization at burst granularity).
+ */
+
+#ifndef MEMSCALE_CHECK_PROTOCOL_CHECKER_HH
+#define MEMSCALE_CHECK_PROTOCOL_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/command_observer.hh"
+
+namespace memscale
+{
+
+/** One recorded constraint violation with provenance. */
+struct ProtocolViolation
+{
+    std::string rule;      ///< e.g. "tRCD", "refresh-window"
+    Tick at = 0;           ///< offending command's issue tick
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = AllBanks;
+    DramCmd cmd = DramCmd::Act;
+    std::string detail;    ///< human-readable constraint arithmetic
+
+    /** "tRCD violation at tick N (ch C rank R bank B cmd X): ..." */
+    std::string str() const;
+};
+
+class ProtocolChecker : public CommandObserver
+{
+  public:
+    /**
+     * @param strict abort (fatal()) on the first violation.  Defaults
+     *        to the environment/build-level strictness.
+     */
+    explicit ProtocolChecker(bool strict = strictDefault());
+
+    void onCommand(const DramCmdEvent &ev) override;
+    void onTimingChange(std::uint32_t channel, Tick effective,
+                        const TimingParams &tp) override;
+
+    /** Total violations recorded (strict mode never returns > 0). */
+    std::uint64_t violations() const { return violations_; }
+
+    /** First few violations, kept for reporting (capped). */
+    const std::vector<ProtocolViolation> &samples() const
+    {
+        return samples_;
+    }
+
+    /** Commands validated so far (all channels). */
+    std::uint64_t commandsChecked() const { return commands_; }
+
+    /** Frequency re-lock windows observed (all channels). */
+    std::uint64_t relocksSeen() const { return relocks_; }
+
+    bool strict() const { return strict_; }
+
+    /** True when the MEMSCALE_STRICT env var is 1/on/true/yes. */
+    static bool strictEnv();
+
+    /** True when built with -DMEMSCALE_STRICT=ON. */
+    static constexpr bool
+    strictBuild()
+    {
+#ifdef MEMSCALE_STRICT_BUILD
+        return true;
+#else
+        return false;
+#endif
+    }
+
+    /** strictEnv() || strictBuild(). */
+    static bool strictDefault();
+
+    /** Violation samples kept before further ones are only counted. */
+    static constexpr std::size_t MaxSamples = 32;
+
+  private:
+    struct BankState
+    {
+        bool open = false;
+        bool actSeen = false;      ///< lastAct is valid
+        bool preSeen = false;      ///< lastPreDone is valid
+        std::uint64_t row = 0;
+        Tick lastAct = 0;
+        Tick lastPreDone = 0;
+        Tick lastCmd = 0;          ///< per-bank monotonicity watchdog
+        bool cmdSeen = false;
+    };
+
+    struct RankState
+    {
+        /** Recent ACT issue ticks, ascending (pruned past tFAW+tRRD). */
+        std::vector<Tick> acts;
+        /** Refresh busy windows [start, end), ascending, pruned. */
+        std::vector<std::pair<Tick, Tick>> refreshes;
+        std::vector<BankState> banks;
+        /** Open CKE-low window start, or MaxTick when powered up. */
+        Tick pdEnter = MaxTick;
+        /** Exit-ready tick of the last powerdown exit. */
+        Tick pdReady = 0;
+        Tick lastRefreshStart = 0;
+        bool refreshSeen = false;
+        bool selfRefreshSinceRefresh = false;
+    };
+
+    struct ChannelState
+    {
+        /** (effective tick, params), ascending by effective tick. */
+        std::vector<std::pair<Tick, TimingParams>> timings;
+        /** Re-lock quiescence windows [start, end), ascending. */
+        std::vector<std::pair<Tick, Tick>> relocks;
+        Tick lastBurstEnd = 0;
+        std::vector<RankState> ranks;
+    };
+
+    ChannelState &chan(std::uint32_t ch);
+    RankState &rank(ChannelState &cs, std::uint32_t rank);
+    BankState &bank(RankState &rs, std::uint32_t bank);
+    const TimingParams &paramsAt(const ChannelState &cs, Tick t) const;
+
+    void record(const DramCmdEvent &ev, const char *rule,
+                std::string detail);
+
+    /** Shared window checks for ACT/Read/Write (and PRE where noted). */
+    void checkWindows(const DramCmdEvent &ev, ChannelState &cs,
+                      RankState &rs, bool data_cmd);
+
+    void checkAct(const DramCmdEvent &ev, ChannelState &cs);
+    void checkPre(const DramCmdEvent &ev, ChannelState &cs);
+    void checkColumn(const DramCmdEvent &ev, ChannelState &cs);
+    void checkRefresh(const DramCmdEvent &ev, ChannelState &cs);
+
+    bool strict_;
+    std::uint64_t violations_ = 0;
+    std::uint64_t commands_ = 0;
+    std::uint64_t relocks_ = 0;
+    std::vector<ProtocolViolation> samples_;
+    std::vector<ChannelState> channels_;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_CHECK_PROTOCOL_CHECKER_HH

@@ -78,6 +78,9 @@ struct TimingParams
      */
     Tick tRELOCK;
 
+    /** Row-cycle time: minimum activate-to-activate gap, same bank. */
+    constexpr Tick tRC() const { return tRAS + tRP; }
+
     /** Parameters for a grid point. */
     static const TimingParams &at(FreqIndex idx);
 

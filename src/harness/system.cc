@@ -55,9 +55,20 @@ System::System(const SystemConfig &cfg, Policy &policy)
 RunResult
 System::run()
 {
-    EventQueue eq;
+    EventQueue eq(cfg_.kernelMode);
     MemoryController mc(eq, cfg_.mem);
     PolicyContext ctx = cfg_.policyContext();
+
+    // Optional online protocol validation.  Environment- or
+    // build-level strictness attaches the checker to every run
+    // regardless of the config flag.
+    std::unique_ptr<ProtocolChecker> checker;
+    if (cfg_.protocolCheck || cfg_.strictCheck ||
+        ProtocolChecker::strictDefault()) {
+        checker = std::make_unique<ProtocolChecker>(
+            cfg_.strictCheck || ProtocolChecker::strictDefault());
+        mc.setCommandObserver(checker.get());
+    }
 
     // Energy integration: close a constant-frequency interval before
     // every frequency change and once more at the end of the run.
@@ -205,6 +216,20 @@ System::run()
         total_instr;
     if (epochs)
         res.timeline = epochs->history();
+    if (checker) {
+        res.protocolViolations = checker->violations();
+        res.commandsChecked = checker->commandsChecked();
+        for (const ProtocolViolation &v : checker->samples())
+            res.protocolViolationSamples.push_back(v.str());
+        if (res.protocolViolations != 0) {
+            warn("run %s/%s: %llu protocol violation(s); first: %s",
+                 cfg_.mixName.c_str(), policy_.name().c_str(),
+                 static_cast<unsigned long long>(
+                     res.protocolViolations),
+                 res.protocolViolationSamples.front().c_str());
+        }
+        mc.setCommandObserver(nullptr);
+    }
     return res;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "check/protocol_checker.hh"
 #include "common/types.hh"
 #include "mem/config.hh"
 #include "workload/app_profile.hh"
@@ -19,6 +20,7 @@
 #include "memscale/policies/policy.hh"
 #include "power/params.hh"
 #include "power/system_power.hh"
+#include "sim/event_queue.hh"
 
 namespace memscale
 {
@@ -67,6 +69,22 @@ struct SystemConfig
     /** Hard wall on simulated time (guards runaway experiments). */
     Tick maxSimTime = msToTick(2000.0);
 
+    /**
+     * Event-kernel implementation (sim/event_queue).  Reference is the
+     * simple sorted-list oracle used by the differential harness; both
+     * modes must produce bit-identical results.
+     */
+    KernelMode kernelMode = KernelMode::Fast;
+
+    /**
+     * Attach the online DDR3 protocol checker (check/protocol_checker)
+     * to every channel.  Violations are counted in RunResult; with
+     * strictCheck (or MEMSCALE_STRICT=1 / -DMEMSCALE_STRICT=ON) the
+     * first violation aborts the run.
+     */
+    bool protocolCheck = false;
+    bool strictCheck = false;
+
     PolicyContext policyContext() const;
 };
 
@@ -87,6 +105,12 @@ struct RunResult
     double measuredRpki = 0.0;
     double measuredWpki = 0.0;
     bool hitTimeLimit = false;
+    /// @name Protocol-checker results (zero unless protocolCheck).
+    /// @{
+    std::uint64_t protocolViolations = 0;
+    std::uint64_t commandsChecked = 0;
+    std::vector<std::string> protocolViolationSamples;
+    /// @}
 
     double avgCpi() const;
     double worstCpi() const;

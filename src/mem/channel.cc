@@ -32,6 +32,38 @@ Channel::bankCtl(std::uint32_t rank, std::uint32_t bank)
 }
 
 void
+Channel::setCommandObserver(CommandObserver *obs,
+                            std::uint32_t chan_id)
+{
+    obs_ = obs;
+    chanId_ = chan_id;
+    if (obs_)
+        obs_->onTimingChange(chanId_, eq_.now(), tp_);
+}
+
+void
+Channel::emit(DramCmdEvent ev)
+{
+    ev.channel = chanId_;
+    obs_->onCommand(ev);
+}
+
+void
+Channel::emitCke(DramCmd cmd, Tick at, Tick done_at,
+                 std::uint32_t rank, bool self_refresh)
+{
+    if (!obs_)
+        return;
+    DramCmdEvent ev;
+    ev.cmd = cmd;
+    ev.at = at;
+    ev.doneAt = done_at;
+    ev.rank = rank;
+    ev.selfRefresh = self_refresh;
+    emit(ev);
+}
+
+void
 Channel::access(MemRequest *req)
 {
     ++pending_;
@@ -117,6 +149,7 @@ Channel::tryService(std::uint32_t r, std::uint32_t b)
         pdExitReadyAt_[r] = now + exit_lat;
         req->sawPowerdownExit = true;
         counters_.epdc += 1;
+        emitCke(DramCmd::PowerdownExit, now, pdExitReadyAt_[r], r);
     }
     earliest = std::max(earliest, pdExitReadyAt_[r]);
 
@@ -125,6 +158,7 @@ Channel::tryService(std::uint32_t r, std::uint32_t b)
     Tick act_at = 0;
     Tick cas_at;
     bool did_act = false;
+    Tick open_miss_pre_at = 0;
     Tick open_miss_pre_done = 0;
 
     if (bank.rowState() == Bank::RowState::Open &&
@@ -136,6 +170,7 @@ Channel::tryService(std::uint32_t r, std::uint32_t b)
         req->outcome = RowOutcome::OpenMiss;
         counters_.obmc += 1;
         Tick pre_at = std::max(earliest, bank.lastActAt() + tp.tRAS);
+        open_miss_pre_at = pre_at;
         open_miss_pre_done = pre_at + tp.tRP;
         act_at = rk.earliestAct(open_miss_pre_done, tp);
         cas_at = act_at + tp.tRCD;
@@ -197,6 +232,32 @@ Channel::tryService(std::uint32_t r, std::uint32_t b)
     // until then nothing else can plan against this bank.
     bank.setReadyAt(req->burstEnd + bank_burst_extra);
 
+    // Announce the planned command sequence in issue order.
+    if (obs_) {
+        DramCmdEvent ev;
+        ev.rank = r;
+        ev.bank = b;
+        ev.row = req->loc.row;
+        if (req->outcome == RowOutcome::OpenMiss) {
+            ev.cmd = DramCmd::Pre;
+            ev.at = open_miss_pre_at;
+            ev.doneAt = open_miss_pre_done;
+            emit(ev);
+        }
+        if (did_act) {
+            ev.cmd = DramCmd::Act;
+            ev.at = act_at;
+            ev.doneAt = act_at;
+            emit(ev);
+        }
+        ev.cmd = req->isWrite ? DramCmd::Write : DramCmd::Read;
+        ev.at = cas_at;
+        ev.doneAt = req->burstEnd;
+        ev.burstStart = req->burstStart;
+        ev.burstEnd = req->burstEnd;
+        emit(ev);
+    }
+
     // Accounting events at the actual transition times.
     if (req->outcome == RowOutcome::OpenMiss) {
         eq_.schedule(open_miss_pre_done,
@@ -255,7 +316,21 @@ Channel::onBurstDone(MemRequest *req, Tick chan_burst)
                                   bc.bank.lastActAt() + tp.tRAS);
         if (req->isWrite)
             pre_start += tp.tWR;
+        // A refresh or frequency re-lock may have claimed this bank
+        // mid-burst (both push readyAt past their busy window); the
+        // trailing precharge must wait it out.
+        pre_start = std::max(pre_start, bc.bank.readyAt());
         Tick pre_done = pre_start + tp.tRP;
+        if (obs_) {
+            DramCmdEvent ev;
+            ev.cmd = DramCmd::Pre;
+            ev.at = pre_start;
+            ev.doneAt = pre_done;
+            ev.rank = r;
+            ev.bank = b;
+            ev.row = req->loc.row;
+            emit(ev);
+        }
         bc.bank.close();
         bc.bank.setReadyAt(std::max(bc.bank.readyAt(), pre_done));
         std::uint32_t rank_idx = r;
@@ -309,6 +384,8 @@ Channel::maybePowerdown(std::uint32_t r)
     ranks_[r].setPowerdown(eq_.now(), true,
                            pdMode_ == PowerdownMode::SlowExit,
                            pdMode_ == PowerdownMode::SelfRefresh);
+    emitCke(DramCmd::PowerdownEnter, eq_.now(), eq_.now(), r,
+            pdMode_ == PowerdownMode::SelfRefresh);
 }
 
 void
@@ -353,16 +430,30 @@ Channel::applyFrequency(const TimingParams &tp)
     // frequency).
     for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
         eq_.schedule(quiesce, [this, r] {
-            if (ranks_[r].openBanks() == 0)
+            if (ranks_[r].openBanks() == 0) {
                 ranks_[r].setPowerdown(eq_.now(), true, false);
+                emitCke(DramCmd::PowerdownEnter, eq_.now(), eq_.now(),
+                        r);
+            }
         });
         eq_.schedule(stall_end, [this, r] {
+            if (ranks_[r].powerdown())
+                emitCke(DramCmd::PowerdownExit, eq_.now(), eq_.now(),
+                        r);
             ranks_[r].setPowerdown(eq_.now(), false);
             maybePowerdown(r);
         });
     }
 
     tp_ = tp;
+    if (obs_) {
+        DramCmdEvent ev;
+        ev.cmd = DramCmd::Relock;
+        ev.at = quiesce;
+        ev.doneAt = stall_end;
+        emit(ev);
+        obs_->onTimingChange(chanId_, stall_end, tp_);
+    }
     return stall_end;
 }
 
@@ -398,13 +489,16 @@ Channel::refreshRank(std::uint32_t r)
         bool slow = rk.slowPowerdown();
         rk.setPowerdown(now, false);
         counters_.epdc += 1;
-        start = std::max(start, now + (slow ? tp.tXPDLL : tp.tXP));
+        Tick exit_done = now + (slow ? tp.tXPDLL : tp.tXP);
+        start = std::max(start, exit_done);
+        emitCke(DramCmd::PowerdownExit, now, exit_done, r);
     }
     const std::uint32_t base = r * cfg_.banksPerRank;
     for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b)
         start = std::max(start, banks_[base + b].bank.readyAt());
 
     const Tick end = start + tp.tRFC;
+    emitCke(DramCmd::Refresh, start, end, r);
     for (std::uint32_t b = 0; b < cfg_.banksPerRank; ++b) {
         Bank &bank = banks_[base + b].bank;
         bank.setReadyAt(std::max(bank.readyAt(), end));

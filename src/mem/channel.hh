@@ -21,6 +21,7 @@
 #include <deque>
 #include <vector>
 
+#include "check/command_observer.hh"
 #include "common/types.hh"
 #include "dram/bank.hh"
 #include "dram/rank.hh"
@@ -78,6 +79,15 @@ class Channel
      */
     void setThrottle(double max_utilization);
 
+    /**
+     * Subscribe an observer to this channel's DRAM command stream
+     * (check/command_observer).  The observer immediately learns the
+     * current timing parameters; nullptr detaches.  `chan_id` is
+     * stamped into every announced command for provenance.
+     */
+    void setCommandObserver(CommandObserver *obs,
+                            std::uint32_t chan_id);
+
     /** Begin issuing per-rank auto-refresh (staggered). */
     void startRefresh();
 
@@ -127,6 +137,13 @@ class Channel
 
     bool rankFullyIdle(std::uint32_t rank) const;
 
+    /** Announce a command to the observer, if any. */
+    void emit(DramCmdEvent ev);
+
+    /** Announce a rank CKE transition (enter/exit powerdown). */
+    void emitCke(DramCmd cmd, Tick at, Tick done_at,
+                 std::uint32_t rank, bool self_refresh = false);
+
     EventQueue &eq_;
     const MemConfig &cfg_;
     McCounters counters_;
@@ -152,6 +169,9 @@ class Channel
     Tick lastBurstStart_ = 0;
     Tick syncBufferLatency_ = nsToTick(5.0);
     bool refreshRunning_ = false;
+
+    CommandObserver *obs_ = nullptr;
+    std::uint32_t chanId_ = 0;
 };
 
 } // namespace memscale

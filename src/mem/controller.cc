@@ -120,6 +120,13 @@ MemoryController::setThrottle(double max_utilization)
 }
 
 void
+MemoryController::setCommandObserver(CommandObserver *obs)
+{
+    for (std::uint32_t c = 0; c < channels_.size(); ++c)
+        channels_[c]->setCommandObserver(obs, c);
+}
+
+void
 MemoryController::startRefresh()
 {
     for (auto &ch : channels_)

@@ -92,6 +92,13 @@ class MemoryController
     /** Cap data-bus utilization on every channel (throttling). */
     void setThrottle(double max_utilization);
 
+    /**
+     * Attach an observer to every channel's DRAM command stream
+     * (check/command_observer); nullptr detaches.  Channel ids are the
+     * controller's channel indices.
+     */
+    void setCommandObserver(CommandObserver *obs);
+
     /** Start refresh engines (call once at simulation start). */
     void startRefresh();
 

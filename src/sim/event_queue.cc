@@ -61,9 +61,18 @@ EventQueue::schedule(Tick when, EventCallback fn, EventClass cls)
     s.fn = std::move(fn);
     s.live = true;
     std::uint64_t seq = nextSeq_++;
-    heap_.push_back(Entry{when, seq, slot, s.gen,
-                          static_cast<std::uint8_t>(cls)});
-    std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    Entry e{when, seq, slot, s.gen, static_cast<std::uint8_t>(cls)};
+    if (mode_ == KernelMode::Reference) {
+        // Sorted insert, descending, so the soonest event is at the
+        // back.  upper_bound keeps ties (impossible: seq is unique)
+        // stable either way.
+        auto pos = std::upper_bound(heap_.begin(), heap_.end(), e,
+                                    EntryGreater{});
+        heap_.insert(pos, e);
+    } else {
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    }
     ++pending_;
     return (static_cast<EventId>(s.gen) << 32) | slot;
 }
@@ -76,6 +85,19 @@ EventQueue::cancel(EventId id)
     if (slot >= slots_.size() || !slots_[slot].live ||
         slots_[slot].gen != gen) {
         return false;
+    }
+    if (mode_ == KernelMode::Reference) {
+        // Eager cancellation: remove the entry immediately.
+        auto it = std::find_if(heap_.begin(), heap_.end(),
+                               [&](const Entry &e) {
+                                   return e.slot == slot &&
+                                          e.gen == gen;
+                               });
+        if (it != heap_.end())
+            heap_.erase(it);
+        releaseSlot(slot);
+        --pending_;
+        return true;
     }
     // Lazy cancellation: destroy the callback and recycle the slot now
     // (the generation bump marks the heap entry stale); the entry
@@ -111,15 +133,30 @@ EventQueue::maybeCompact()
     stale_ = 0;
 }
 
+const EventQueue::Entry *
+EventQueue::peek() const
+{
+    if (heap_.empty())
+        return nullptr;
+    return mode_ == KernelMode::Reference ? &heap_.back()
+                                          : &heap_.front();
+}
+
 bool
 EventQueue::step()
 {
     purgeTop();
     if (heap_.empty())
         return false;
-    Entry e = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
-    heap_.pop_back();
+    Entry e;
+    if (mode_ == KernelMode::Reference) {
+        e = heap_.back();
+        heap_.pop_back();
+    } else {
+        e = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+        heap_.pop_back();
+    }
     // Release the slot before invoking so the callback can freely
     // schedule new events (possibly reusing this slot) and so
     // cancelling the in-flight id is a no-op, as documented.
@@ -138,7 +175,8 @@ EventQueue::runUntil(Tick limit)
     std::uint64_t executed = 0;
     while (!stopped_) {
         purgeTop();
-        if (heap_.empty() || heap_.front().when > limit)
+        const Entry *next = peek();
+        if (!next || next->when > limit)
             break;
         if (step())
             ++executed;

@@ -51,10 +51,28 @@ enum class EventClass : std::uint8_t
     Sample = 2,    ///< statistics sampling / epoch bookkeeping
 };
 
+/**
+ * Kernel implementation selector.  Fast is the production slab/lazy-
+ * cancel path; Reference is a deliberately simple sorted-list kernel
+ * with eager cancellation that serves as the correctness oracle for
+ * the differential harness (harness/differential).  Both modes run
+ * events in the identical (tick, class, seq) order, so a simulation
+ * must produce bit-identical results under either.
+ */
+enum class KernelMode : std::uint8_t
+{
+    Fast,
+    Reference,
+};
+
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    explicit EventQueue(KernelMode mode = KernelMode::Fast)
+        : mode_(mode)
+    {}
+
+    KernelMode mode() const { return mode_; }
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -151,7 +169,16 @@ class EventQueue
     std::uint32_t allocSlot();
     void releaseSlot(std::uint32_t idx);
 
-    /** Min-heap over Entry (via make/push/pop_heap with operator>). */
+    /** Next event to run, or nullptr when none is pending. */
+    const Entry *peek() const;
+
+    /**
+     * Fast mode: min-heap over Entry (make/push/pop_heap with
+     * operator>).  Reference mode: kept fully sorted *descending* by
+     * (when, cls, seq), so the next event is heap_.back() and popping
+     * it is O(1); inserts and cancels are linear, which is fine for an
+     * oracle.
+     */
     std::vector<Entry> heap_;
     std::vector<Slot> slots_;
     std::uint32_t freeHead_ = NoSlot;
@@ -161,6 +188,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;
     bool stopped_ = false;
+    KernelMode mode_ = KernelMode::Fast;
 };
 
 } // namespace memscale

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Golden-hash regression tests.
+ *
+ * Every Table-1 mix is run under the MemScale policy at a fixed seed
+ * and its entire observable state (counters, energy, per-core CPI,
+ * per-epoch decisions) is folded into one StateHasher digest; the
+ * digests below pin the simulator's exact behaviour.  A separate
+ * golden pins the Fig. 7 MID3 timeline (the apsi phase change) at
+ * per-epoch granularity.
+ *
+ * These hashes are sensitive to any behavioural change, including
+ * last-ulp floating-point drift.  After an *intended* change,
+ * regenerate with:
+ *
+ *     MEMSCALE_REGEN_GOLDENS=1 ./build/tests/test_golden
+ *
+ * and paste the printed tables over the arrays below (see DESIGN.md,
+ * "Golden regeneration").  Digests assume one toolchain/platform; if
+ * this suite fails while every other test passes, suspect a compiler
+ * or libm change before suspecting the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/state_hash.hh"
+#include "harness/differential.hh"
+#include "harness/experiment.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+bool
+regenMode()
+{
+    const char *v = std::getenv("MEMSCALE_REGEN_GOLDENS");
+    return v && v[0] == '1';
+}
+
+/** The fixed scenario behind every golden below. */
+SystemConfig
+goldenConfig(const std::string &mix)
+{
+    SystemConfig cfg;
+    cfg.mixName = mix;
+    cfg.instrBudget = 500'000;
+    cfg.epochLen = msToTick(0.1);
+    cfg.profileLen = usToTick(10.0);
+    cfg.seed = 12345;
+    return cfg;
+}
+
+/** Fixed rest-of-system wattage: keeps the golden independent of the
+ *  (also-deterministic, but expensive) baseline calibration run. */
+constexpr Watts GoldenRestWatts = 150.0;
+
+std::uint64_t
+mixHash(const std::string &mix)
+{
+    RunResult r = runPolicy(goldenConfig(mix), "memscale",
+                            GoldenRestWatts);
+    return hashRunResult(r);
+}
+
+struct Golden
+{
+    const char *mix;
+    std::uint64_t hash;
+};
+
+// Regenerate: MEMSCALE_REGEN_GOLDENS=1 ./build/tests/test_golden
+const Golden kMixGoldens[] = {
+    {"ILP1", 0xd1158a80e0af0e5dull},
+    {"ILP2", 0x2f504d2e2cae9519ull},
+    {"ILP3", 0xfa10f55364eecab3ull},
+    {"ILP4", 0x62ba5174726ca439ull},
+    {"MID1", 0x509463a53f9d2cfdull},
+    {"MID2", 0x3d07fe3443a23bf9ull},
+    {"MID3", 0x4b661fcc09e5c09cull},
+    {"MID4", 0x495a27873ad027b5ull},
+    {"MEM1", 0xca48ba699770c4caull},
+    {"MEM2", 0x595add51021fc4a0ull},
+    {"MEM3", 0x854aead6f21f5ad3ull},
+    {"MEM4", 0xf54146f9b9d37d26ull},
+};
+
+/** Fig. 7 scenario: MID3 under MemScale, per-epoch decisions only. */
+std::uint64_t
+fig7TimelineHash()
+{
+    RunResult r = runPolicy(goldenConfig("MID3"), "memscale",
+                            GoldenRestWatts);
+    StateHasher h;
+    h.add("epochs", static_cast<std::uint64_t>(r.timeline.size()));
+    for (const EpochRecord &e : r.timeline) {
+        h.add("start", e.start);
+        h.add("end", e.end);
+        h.add("busMHz", static_cast<std::uint64_t>(e.busMHz));
+        h.add("cpuGHz", e.cpuGHz);
+        h.add("channelUtil", e.channelUtil);
+        for (double cpi : e.coreCpi)
+            h.add("cpi", cpi);
+    }
+    return h.digest();
+}
+
+constexpr std::uint64_t kFig7TimelineGolden = 0xb09fbb1b049d062eull;
+
+} // namespace
+
+TEST(Golden, MixHashesMatch)
+{
+    if (regenMode()) {
+        std::printf("const Golden kMixGoldens[] = {\n");
+        for (const Golden &g : kMixGoldens) {
+            std::printf("    {\"%s\", 0x%016llxull},\n", g.mix,
+                        static_cast<unsigned long long>(
+                            mixHash(g.mix)));
+        }
+        std::printf("};\n");
+        GTEST_SKIP() << "regenerated goldens printed above";
+    }
+    for (const Golden &g : kMixGoldens) {
+        EXPECT_EQ(mixHash(g.mix), g.hash)
+            << g.mix
+            << ": behaviour changed; if intended, regenerate with "
+               "MEMSCALE_REGEN_GOLDENS=1 ./build/tests/test_golden";
+    }
+}
+
+TEST(Golden, Fig7ApsiTimelineMatches)
+{
+    if (regenMode()) {
+        std::printf("constexpr std::uint64_t kFig7TimelineGolden = "
+                    "0x%016llxull;\n",
+                    static_cast<unsigned long long>(
+                        fig7TimelineHash()));
+        GTEST_SKIP() << "regenerated golden printed above";
+    }
+    EXPECT_EQ(fig7TimelineHash(), kFig7TimelineGolden)
+        << "MID3/apsi per-epoch timeline changed; if intended, "
+           "regenerate with MEMSCALE_REGEN_GOLDENS=1 "
+           "./build/tests/test_golden";
+}
+
+TEST(Golden, HashIsRunToRunStable)
+{
+    // The digest itself must be deterministic, or the goldens above
+    // would be meaningless.
+    EXPECT_EQ(mixHash("MID1"), mixHash("MID1"));
+}
+
+TEST(Golden, HashDistinguishesSeeds)
+{
+    SystemConfig a = goldenConfig("MID1");
+    SystemConfig b = goldenConfig("MID1");
+    b.seed = 54321;
+    RunResult ra = runPolicy(a, "memscale", GoldenRestWatts);
+    RunResult rb = runPolicy(b, "memscale", GoldenRestWatts);
+    EXPECT_NE(hashRunResult(ra), hashRunResult(rb));
+}

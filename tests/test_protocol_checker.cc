@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Unit tests for the online DDR3 protocol checker: direct-feed
+ * detection of each rule, strict-mode abort, and full-System runs with
+ * the checker attached — including runs whose policy re-locks the
+ * memory frequency mid-run, the case the checker exists to guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/protocol_checker.hh"
+#include "common/log.hh"
+#include "harness/experiment.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+const TimingParams &tp0 = TimingParams::at(0);
+
+DramCmdEvent
+act(Tick at, std::uint32_t bank = 0, std::uint64_t row = 7,
+    std::uint32_t rank = 0)
+{
+    DramCmdEvent ev;
+    ev.cmd = DramCmd::Act;
+    ev.at = at;
+    ev.doneAt = at;
+    ev.rank = rank;
+    ev.bank = bank;
+    ev.row = row;
+    return ev;
+}
+
+DramCmdEvent
+pre(Tick at, std::uint32_t bank = 0)
+{
+    DramCmdEvent ev;
+    ev.cmd = DramCmd::Pre;
+    ev.at = at;
+    ev.doneAt = at + tp0.tRP;
+    ev.rank = 0;
+    ev.bank = bank;
+    return ev;
+}
+
+DramCmdEvent
+read(Tick at, std::uint32_t bank = 0, std::uint64_t row = 7,
+     Tick bus_free = 0)
+{
+    DramCmdEvent ev;
+    ev.cmd = DramCmd::Read;
+    ev.at = at;
+    ev.rank = 0;
+    ev.bank = bank;
+    ev.row = row;
+    ev.burstStart = std::max(at + tp0.tCL, bus_free);
+    ev.burstEnd = ev.burstStart + tp0.tBURST;
+    ev.doneAt = ev.burstEnd;
+    return ev;
+}
+
+/** Checker with the nominal params installed, strictness off. */
+ProtocolChecker
+fresh()
+{
+    ProtocolChecker pc(false);
+    pc.onTimingChange(0, 0, tp0);
+    return pc;
+}
+
+std::string
+firstRule(const ProtocolChecker &pc)
+{
+    return pc.samples().empty() ? "" : pc.samples().front().rule;
+}
+
+SystemConfig
+smallConfig(const std::string &mix)
+{
+    SystemConfig cfg;
+    cfg.mixName = mix;
+    cfg.instrBudget = 1'000'000;
+    cfg.epochLen = msToTick(0.1);
+    cfg.profileLen = usToTick(10.0);
+    cfg.protocolCheck = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ProtocolChecker, LegalSequenceIsClean)
+{
+    ProtocolChecker pc = fresh();
+    Tick t = 10000;
+    pc.onCommand(act(t));
+    pc.onCommand(read(t + tp0.tRCD));
+    Tick p = t + tp0.tRAS;
+    pc.onCommand(pre(p));
+    pc.onCommand(act(p + tp0.tRP));
+    EXPECT_EQ(pc.violations(), 0u);
+    EXPECT_EQ(pc.commandsChecked(), 4u);
+}
+
+TEST(ProtocolChecker, DetectsTrcdViolation)
+{
+    ProtocolChecker pc = fresh();
+    pc.onCommand(act(10000));
+    pc.onCommand(read(10000 + tp0.tRCD - 1));
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "tRCD");
+}
+
+TEST(ProtocolChecker, DetectsTrpViolation)
+{
+    ProtocolChecker pc = fresh();
+    pc.onCommand(act(10000));
+    Tick p = 10000 + tp0.tRAS;
+    pc.onCommand(pre(p));
+    pc.onCommand(act(p + tp0.tRP - 1));
+    EXPECT_GE(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "tRP");
+}
+
+TEST(ProtocolChecker, DetectsTrasViolation)
+{
+    ProtocolChecker pc = fresh();
+    pc.onCommand(act(10000));
+    pc.onCommand(pre(10000 + tp0.tRAS - 1));
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "tRAS");
+}
+
+TEST(ProtocolChecker, DetectsTrcViolation)
+{
+    ProtocolChecker pc = fresh();
+    pc.onCommand(act(10000));
+    Tick p = 10000 + tp0.tRAS;
+    pc.onCommand(pre(p));
+    // tRP satisfied but the same-bank ACT-to-ACT gap is one tick
+    // short of tRC = tRAS + tRP.
+    pc.onCommand(act(10000 + tp0.tRC() - 1));
+    bool saw_trc = false;
+    for (const auto &v : pc.samples())
+        saw_trc |= v.rule == "tRC";
+    EXPECT_TRUE(saw_trc);
+}
+
+TEST(ProtocolChecker, DetectsTrrdViolation)
+{
+    ProtocolChecker pc = fresh();
+    pc.onCommand(act(100000, 0));
+    pc.onCommand(act(100000 + tp0.tRRD - 1, 1));
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "tRRD");
+}
+
+TEST(ProtocolChecker, DetectsTrrdViolationAnnouncedOutOfOrder)
+{
+    // Cross-bank announcements may arrive out of tick order; the
+    // checker must still see the too-small gap.
+    ProtocolChecker pc = fresh();
+    pc.onCommand(act(100000 + tp0.tRRD - 1, 1));
+    pc.onCommand(act(100000, 0));
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "tRRD");
+}
+
+TEST(ProtocolChecker, DetectsTfawViolation)
+{
+    ProtocolChecker pc = fresh();
+    // Spacing legal under tRRD but five activates inside tFAW.
+    const Tick gap = tp0.tRRD + 1000;
+    ASSERT_LT(4 * gap, tp0.tFAW);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        pc.onCommand(act(500000 + i * gap, i, 7));
+    EXPECT_GE(pc.violations(), 1u);
+    bool saw_tfaw = false;
+    for (const auto &v : pc.samples())
+        saw_tfaw |= v.rule == "tFAW";
+    EXPECT_TRUE(saw_tfaw);
+}
+
+TEST(ProtocolChecker, DetectsCommandInsideRefreshWindow)
+{
+    ProtocolChecker pc = fresh();
+    DramCmdEvent ref;
+    ref.cmd = DramCmd::Refresh;
+    ref.at = 1000000;
+    ref.doneAt = ref.at + tp0.tRFC;
+    pc.onCommand(ref);
+    pc.onCommand(act(ref.at + tp0.tRFC / 2));
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "refresh-window");
+}
+
+TEST(ProtocolChecker, DetectsActAnnouncedBeforeRefreshWindow)
+{
+    // The backward direction: the ACT was announced first, then a
+    // refresh window lands on top of it.
+    ProtocolChecker pc = fresh();
+    pc.onCommand(act(1000000));
+    DramCmdEvent ref;
+    ref.cmd = DramCmd::Refresh;
+    ref.at = 1000000 - 1000;
+    ref.doneAt = ref.at + tp0.tRFC;
+    pc.onCommand(ref);
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "refresh-window");
+}
+
+TEST(ProtocolChecker, DetectsCommandWhilePoweredDown)
+{
+    ProtocolChecker pc = fresh();
+    DramCmdEvent pde;
+    pde.cmd = DramCmd::PowerdownEnter;
+    pde.at = pde.doneAt = 50000;
+    pc.onCommand(pde);
+    pc.onCommand(act(60000));
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "powerdown");
+}
+
+TEST(ProtocolChecker, DetectsCommandBeforePowerdownExitLatency)
+{
+    ProtocolChecker pc = fresh();
+    DramCmdEvent pde;
+    pde.cmd = DramCmd::PowerdownEnter;
+    pde.at = pde.doneAt = 50000;
+    pc.onCommand(pde);
+    DramCmdEvent pdx;
+    pdx.cmd = DramCmd::PowerdownExit;
+    pdx.at = 60000;
+    pdx.doneAt = 60000 + tp0.tXP;
+    pc.onCommand(pdx);
+    pc.onCommand(act(60000 + tp0.tXP - 1));
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "powerdown-exit");
+}
+
+TEST(ProtocolChecker, DetectsCommandInsideRelockWindow)
+{
+    ProtocolChecker pc = fresh();
+    DramCmdEvent rl;
+    rl.cmd = DramCmd::Relock;
+    rl.at = 200000;
+    rl.doneAt = rl.at + tp0.tRELOCK;
+    pc.onCommand(rl);
+    pc.onCommand(act(rl.at + 1000));
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "relock-window");
+    EXPECT_EQ(pc.relocksSeen(), 1u);
+}
+
+TEST(ProtocolChecker, DetectsCasOnClosedBankAndRowMismatch)
+{
+    ProtocolChecker pc = fresh();
+    pc.onCommand(read(10000, 3, 7));
+    EXPECT_EQ(firstRule(pc), "cas-closed-bank");
+
+    ProtocolChecker pc2 = fresh();
+    pc2.onCommand(act(10000, 3, 7));
+    pc2.onCommand(read(10000 + tp0.tRCD, 3, 8));
+    EXPECT_EQ(firstRule(pc2), "cas-row-mismatch");
+}
+
+TEST(ProtocolChecker, DetectsBusOverlap)
+{
+    // At the slowest grid point tBURST (20 ns) exceeds tRRD (5 ns),
+    // so back-to-back CAS bursts on different banks can overlap on
+    // the bus while every bank-level timing is satisfied.
+    const TimingParams &tp = TimingParams::at(numFreqPoints - 1);
+    ProtocolChecker pc(false);
+    pc.onTimingChange(0, 0, tp);
+    pc.onCommand(act(10000, 0));
+    pc.onCommand(act(10000 + tp.tRRD, 1));
+    DramCmdEvent r1 = read(10000 + tp.tRCD, 0);
+    r1.burstStart = r1.at + tp.tCL;
+    r1.burstEnd = r1.burstStart + tp.tBURST;
+    r1.doneAt = r1.burstEnd;
+    pc.onCommand(r1);
+    // Legal tRCD/tCL for bank 1, but its burst starts mid-way through
+    // bank 0's transfer.
+    DramCmdEvent r2 = read(10000 + tp.tRRD + tp.tRCD, 1);
+    r2.burstStart = r2.at + tp.tCL;
+    r2.burstEnd = r2.burstStart + tp.tBURST;
+    r2.doneAt = r2.burstEnd;
+    ASSERT_LT(r2.burstStart, r1.burstEnd);
+    pc.onCommand(r2);
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "bus-overlap");
+}
+
+TEST(ProtocolChecker, AppliesParamsInEffectAtIssueTick)
+{
+    // A gap legal at the tick where the command issues must be judged
+    // by the parameters in effect *there*, not by the attach-time set.
+    ProtocolChecker pc = fresh();
+    const TimingParams &slow = TimingParams::at(numFreqPoints - 1);
+
+    // Before the switch: burst of tp0.tBURST is legal.
+    pc.onCommand(act(10000));
+    pc.onCommand(read(10000 + tp0.tRCD));
+    EXPECT_EQ(pc.violations(), 0u);
+
+    // Re-lock to the slowest point, effective at 10 ms.
+    Tick eff = msToTick(10.0);
+    DramCmdEvent rl;
+    rl.cmd = DramCmd::Relock;
+    rl.at = eff - tp0.tRELOCK;
+    rl.doneAt = eff;
+    pc.onCommand(rl);
+    pc.onTimingChange(0, eff, slow);
+
+    // After the switch a burst of the *old* length is a violation...
+    pc.onCommand(pre(eff, 0));
+    pc.onCommand(act(eff + tp0.tRP));
+    DramCmdEvent r = read(eff + tp0.tRP + slow.tRCD);
+    r.burstStart = r.at + slow.tCL;
+    r.burstEnd = r.burstStart + tp0.tBURST;   // stale length
+    r.doneAt = r.burstEnd;
+    pc.onCommand(r);
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "burst-length");
+
+    // ...and the correct slow-grid burst is clean.
+    ProtocolChecker pc2 = fresh();
+    pc2.onTimingChange(0, eff, slow);
+    pc2.onCommand(act(eff + 1000));
+    DramCmdEvent r2 = read(eff + 1000 + slow.tRCD);
+    r2.burstStart = r2.at + slow.tCL;
+    r2.burstEnd = r2.burstStart + slow.tBURST;
+    r2.doneAt = r2.burstEnd;
+    pc2.onCommand(r2);
+    EXPECT_EQ(pc2.violations(), 0u);
+}
+
+TEST(ProtocolChecker, StrictModeAbortsOnFirstViolation)
+{
+    ProtocolChecker pc(true);
+    pc.onTimingChange(0, 0, tp0);
+    pc.onCommand(act(10000));
+    EXPECT_THROW(pc.onCommand(read(10000 + tp0.tRCD - 1)), FatalError);
+}
+
+TEST(ProtocolChecker, ViolationStringCarriesProvenance)
+{
+    ProtocolChecker pc = fresh();
+    pc.onCommand(act(10000, 2, 7, 1));
+    DramCmdEvent r = read(10000 + tp0.tRCD - 1, 2, 7);
+    r.rank = 1;
+    pc.onCommand(r);
+    ASSERT_EQ(pc.samples().size(), 1u);
+    std::string s = pc.samples().front().str();
+    EXPECT_NE(s.find("tRCD"), std::string::npos);
+    EXPECT_NE(s.find("rank 1"), std::string::npos);
+    EXPECT_NE(s.find("bank 2"), std::string::npos);
+    EXPECT_NE(s.find("RD"), std::string::npos);
+}
+
+// --- Full-system validation -------------------------------------------
+
+TEST(ProtocolCheckerSystem, BaselineRunIsClean)
+{
+    SystemConfig cfg = smallConfig("MID1");
+    Watts rest = 0.0;
+    RunResult base = runBaseline(cfg, rest);
+    EXPECT_GT(base.commandsChecked, 1000u);
+    EXPECT_EQ(base.protocolViolations, 0u)
+        << (base.protocolViolationSamples.empty()
+                ? ""
+                : base.protocolViolationSamples.front());
+}
+
+TEST(ProtocolCheckerSystem, MemScaleRunWithFrequencyTransitionsIsClean)
+{
+    // The acceptance case: the checker validates tRCD/tRP/tRAS/tRRD/
+    // tFAW/refresh across *mid-run frequency transitions* driven by
+    // the real MemScale policy.
+    SystemConfig cfg = smallConfig("MID1");
+    Watts rest = 0.0;
+    runBaseline(cfg, rest);
+    RunResult ms = runPolicy(cfg, "memscale", rest);
+    ASSERT_GT(ms.counters.freqTransitions, 0u);
+    EXPECT_GT(ms.commandsChecked, 1000u);
+    EXPECT_EQ(ms.protocolViolations, 0u)
+        << (ms.protocolViolationSamples.empty()
+                ? ""
+                : ms.protocolViolationSamples.front());
+}
+
+TEST(ProtocolCheckerSystem, PowerdownPoliciesAreClean)
+{
+    for (const char *policy : {"fastpd", "slowpd", "srpd"}) {
+        SystemConfig cfg = smallConfig("ILP1");
+        Watts rest = 0.0;
+        runBaseline(cfg, rest);
+        RunResult r = runPolicy(cfg, policy, rest);
+        EXPECT_EQ(r.protocolViolations, 0u)
+            << policy << ": "
+            << (r.protocolViolationSamples.empty()
+                    ? ""
+                    : r.protocolViolationSamples.front());
+    }
+}
+
+TEST(ProtocolCheckerSystem, CheckerDoesNotPerturbResults)
+{
+    // Attaching the checker must not change simulation behaviour.
+    SystemConfig cfg = smallConfig("MID2");
+    cfg.protocolCheck = false;
+    Watts rest1 = 0.0;
+    RunResult plain = runBaseline(cfg, rest1);
+    cfg.protocolCheck = true;
+    Watts rest2 = 0.0;
+    RunResult checked = runBaseline(cfg, rest2);
+    EXPECT_EQ(plain.runtime, checked.runtime);
+    EXPECT_EQ(plain.counters.reads, checked.counters.reads);
+    EXPECT_EQ(plain.counters.writes, checked.counters.writes);
+    EXPECT_EQ(plain.energy.total(), checked.energy.total());
+}

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "memscale/slack.hh"
 
 using namespace memscale;
@@ -88,4 +90,79 @@ TEST(Slack, PerCoreIndependence)
     s.update(0, 1.0e-3, 2.0e-3);
     EXPECT_LT(s.slack(0), 0.0);
     EXPECT_DOUBLE_EQ(s.slack(1), 0.0);
+}
+
+TEST(Slack, ZeroGammaPermitsOnlyNominalSpeed)
+{
+    // gamma = 0 is the degenerate zero-slowdown bound: with no banked
+    // slack, only tpi_f <= tpi_max is feasible — the policy may never
+    // pick a point slower than nominal.
+    SlackTracker s;
+    s.reset(1, 0.0);
+    double tpi_max = 1e-9;
+    EXPECT_TRUE(s.feasible(0, tpi_max, tpi_max, 1e-3));
+    EXPECT_FALSE(s.feasible(0, tpi_max * 1.000001, tpi_max, 1e-3));
+    // Running exactly on target accumulates nothing.
+    s.update(0, 1.0e-3, 1.0e-3);
+    EXPECT_DOUBLE_EQ(s.slack(0), 0.0);
+    EXPECT_FALSE(s.feasible(0, tpi_max * 1.01, tpi_max, 1e-3));
+}
+
+TEST(Slack, SlackExactlyExhaustedAtEpochBoundary)
+{
+    // Bank slack exactly equal to the epoch length: budget
+    // (epoch - slack) hits zero and the feasibility test must flip to
+    // "anything goes" without dividing by zero or flipping sign.
+    SlackTracker s;
+    s.reset(1, 0.0);
+    const double epoch = 1e-3;
+    s.update(0, epoch, 0.0);   // banked exactly one epoch of slack
+    EXPECT_DOUBLE_EQ(s.slack(0), epoch);
+    double tpi_max = 1e-9;
+    EXPECT_TRUE(s.feasible(0, tpi_max * 1000.0, tpi_max, epoch));
+
+    // One ulp less slack and a sufficiently slow point is rejected
+    // again — the boundary is exact, not approximate.  The remaining
+    // budget is a single ulp of the epoch (~2e-19 s), so "sufficiently
+    // slow" means a stretch factor beyond epoch/ulp (~5e15).
+    SlackTracker t;
+    t.reset(1, 0.0);
+    double almost = std::nextafter(epoch, 0.0);
+    t.update(0, almost, 0.0);
+    EXPECT_TRUE(t.feasible(0, tpi_max * 1e13, tpi_max, epoch));
+    EXPECT_FALSE(t.feasible(0, tpi_max * 1e17, tpi_max, epoch));
+
+    // Spending the banked epoch drops the tracker back to zero: the
+    // next epoch is bounded as if nothing had ever been saved.
+    s.update(0, 0.0, epoch);
+    EXPECT_DOUBLE_EQ(s.slack(0), 0.0);
+    EXPECT_FALSE(s.feasible(0, tpi_max * 1.01, tpi_max, epoch));
+}
+
+TEST(Slack, NegativeSlackRecovery)
+{
+    // A missed target must be repaid: after running 2x slower than
+    // allowed, epochs at nominal speed accumulate gamma worth of
+    // credit each until the debt clears and feasibility is restored.
+    SlackTracker s;
+    s.reset(1, 0.10);
+    const double epoch = 1e-3;
+    double tpi_max = 1e-9;
+
+    s.update(0, epoch, 2.0 * epoch);   // debt: 1.1 - 2.0 = -0.9 ms
+    EXPECT_NEAR(s.slack(0), -0.9e-3, 1e-12);
+    EXPECT_FALSE(s.feasible(0, tpi_max * 1.10, tpi_max, epoch));
+
+    int epochs_to_recover = 0;
+    while (s.slack(0) < 0.0 && epochs_to_recover < 100) {
+        // Run at nominal speed: banks gamma * epoch per epoch.
+        s.update(0, epoch, epoch);
+        ++epochs_to_recover;
+    }
+    // 0.9 ms debt at 0.1 ms credit per epoch: exactly 9 epochs.
+    EXPECT_EQ(epochs_to_recover, 9);
+    EXPECT_NEAR(s.slack(0), 0.0, 1e-12);
+    // With the debt repaid, the gamma bound applies again.
+    EXPECT_TRUE(s.feasible(0, tpi_max * 1.0999, tpi_max, epoch));
+    EXPECT_FALSE(s.feasible(0, tpi_max * 1.2, tpi_max, epoch));
 }

@@ -15,6 +15,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "harness/differential.hh"
 #include "harness/sweep.hh"
 #include "workload/mixes.hh"
 
@@ -110,6 +111,28 @@ TEST(SweepEngine, ThreadCountInvarianceFullRuns)
     ASSERT_EQ(serial.size(), parallel.size());
     for (std::size_t i = 0; i < serial.size(); ++i)
         EXPECT_EQ(serial[i], parallel[i]) << "metric " << i;
+}
+
+TEST(SweepEngine, IdenticalConfigsHashIdenticallyAcrossWorkers)
+{
+    // Eight copies of the *same* configuration spread across eight
+    // workers must produce bit-identical runs.  Any hidden coupling
+    // between worker threads and the simulation (a shared RNG, a
+    // thread-keyed cache, iteration-order dependence) shows up here
+    // as a digest mismatch between replicas.
+    SweepEngine eng(8);
+    SystemConfig cfg = tinyConfig("MID1");
+    std::vector<std::uint64_t> digests = eng.map<std::uint64_t>(
+        8, [&](std::size_t) {
+            return hashRunResult(runPolicy(cfg, "memscale", 150.0));
+        });
+    for (std::size_t i = 1; i < digests.size(); ++i)
+        EXPECT_EQ(digests[i], digests[0]) << "replica " << i;
+
+    // And the parallel digests must match a serial reference run.
+    std::uint64_t serial =
+        hashRunResult(runPolicy(cfg, "memscale", 150.0));
+    EXPECT_EQ(digests[0], serial);
 }
 
 TEST(SweepEngine, Oversubscription)
