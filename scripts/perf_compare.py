@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Perf gate: run the simperf microbenchmarks and compare items/sec
+against the checked-in baseline (bench/perf_baseline.json).
+
+Exit codes:
+  0   all benchmarks within tolerance of the baseline (or faster)
+  1   at least one benchmark regressed beyond tolerance
+  2   setup problem (missing binary/baseline, bad JSON)
+  77  skipped (perf gating is opt-in: set MEMSCALE_PERF=1 or pass
+      --force; ctest maps 77 to SKIP via SKIP_RETURN_CODE)
+
+The gate compares the *best* of N repetitions against the baseline
+median: benchmarks only ever run slower under interference, so the
+best repetition is the least noisy estimator and biases the gate
+against false alarms rather than against real regressions.
+
+Regenerating the baseline after an intentional perf change (the perf
+analogue of MEMSCALE_REGEN_GOLDENS, see README "Validating a change"):
+
+    scripts/perf_compare.py --update --force
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BENCH = os.path.join(REPO, "build", "bench", "simperf")
+DEFAULT_BASELINE = os.path.join(REPO, "bench", "perf_baseline.json")
+
+
+def run_benchmarks(bench, min_time, repetitions):
+    cmd = [
+        bench,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_repetitions={repetitions}",
+    ]
+    out = subprocess.run(cmd, stdout=subprocess.PIPE,
+                         stderr=subprocess.DEVNULL, check=True)
+    data = json.loads(out.stdout)
+    best = {}
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("run_name", b["name"])
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        best[name] = max(best.get(name, 0.0), ips)
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default=DEFAULT_BENCH,
+                    help="path to the simperf binary")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="path to perf_baseline.json")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="allowed fractional slowdown (default: "
+                         "baseline file's tolerance, else 0.10)")
+    ap.add_argument("--min-time", default="0.25",
+                    help="per-benchmark min running time in seconds")
+    ap.add_argument("--repetitions", type=int, default=3,
+                    help="repetitions; the best one is compared")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this run")
+    ap.add_argument("--force", action="store_true",
+                    help="run even without MEMSCALE_PERF=1")
+    args = ap.parse_args()
+
+    if not args.force and os.environ.get("MEMSCALE_PERF") != "1":
+        print("perf gate skipped (set MEMSCALE_PERF=1 or --force); "
+              "invoke via: MEMSCALE_PERF=1 ctest -L perf")
+        return 77
+
+    if not os.path.exists(args.bench):
+        print(f"perf_compare: benchmark binary not found: {args.bench}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        measured = run_benchmarks(args.bench, args.min_time,
+                                  args.repetitions)
+    except (subprocess.CalledProcessError, json.JSONDecodeError) as e:
+        print(f"perf_compare: failed to run benchmarks: {e}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        doc = {"tolerance": args.tolerance or 0.10,
+               "items_per_second": {k: round(v, 1)
+                                    for k, v in sorted(measured.items())}}
+        # Keep the per-PR before/after history across regenerations.
+        if os.path.exists(args.baseline):
+            try:
+                with open(args.baseline) as f:
+                    old = json.load(f)
+                if "history" in old:
+                    doc["history"] = old["history"]
+                if args.tolerance is None and "tolerance" in old:
+                    doc["tolerance"] = old["tolerance"]
+            except (OSError, json.JSONDecodeError):
+                pass
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        for name, ips in sorted(measured.items()):
+            print(f"  {name:28s} {ips:.4e} items/s")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_compare: cannot read baseline: {e}",
+              file=sys.stderr)
+        return 2
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = doc.get("tolerance", 0.10)
+    baseline = doc["items_per_second"]
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        got = measured.get(name)
+        if got is None:
+            print(f"MISSING  {name:28s} (in baseline, not measured)")
+            failed = True
+            continue
+        ratio = got / base
+        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+        print(f"{status:9s}{name:28s} {base:.4e} -> {got:.4e} "
+              f"({100 * (ratio - 1):+.1f}%)")
+        if status != "ok":
+            failed = True
+    for name in sorted(set(measured) - set(baseline)):
+        print(f"new      {name:28s} {measured[name]:.4e} "
+              "(not in baseline; add with --update)")
+
+    if failed:
+        print(f"\nperf gate FAILED (tolerance {tolerance:.0%}); if the "
+              "slowdown is intentional, regenerate with "
+              "scripts/perf_compare.py --update --force")
+        return 1
+    print(f"\nperf gate passed (tolerance {tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,12 +66,11 @@ Core::issueMiss()
 
     if (chunk_.hasWriteback)
         mc_.writeback(chunk_.writebackAddr, id_);
-    mc_.read(chunk_.missAddr, id_,
-             [this](Tick when) { onMissComplete(when); });
+    mc_.read(chunk_.missAddr, id_, this);
 }
 
 void
-Core::onMissComplete(Tick when)
+Core::onMemComplete(Tick when, const MemRequest &)
 {
     stallTime_ += when - stallStart_;
     // The missing instruction commits when its data arrives.

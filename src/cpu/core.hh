@@ -19,6 +19,7 @@
 
 #include "common/types.hh"
 #include "cpu/trace.hh"
+#include "mem/client.hh"
 #include "mem/controller.hh"
 #include "sim/event_queue.hh"
 
@@ -34,11 +35,15 @@ struct CoreParams
     bool runPastBudget = true;
 };
 
-class Core
+class Core final : public MemClient
 {
   public:
     Core(EventQueue &eq, CoreId id, TraceSource &source,
          MemoryController &mc, const CoreParams &params);
+
+    /** MemClient: the outstanding miss returned (typed completion —
+     * no per-miss std::function on the steady-state path). */
+    void onMemComplete(Tick when, const MemRequest &req) override;
 
     /** Begin execution at the current tick. */
     void start();
@@ -81,7 +86,6 @@ class Core
   private:
     void beginChunk();
     void issueMiss();
-    void onMissComplete(Tick when);
 
     EventQueue &eq_;
     CoreId id_;

@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "mem/client.hh"
 
 namespace memscale
 {
 
 Channel::Channel(EventQueue &eq, const MemConfig &cfg,
-                 const TimingParams &tp)
-    : eq_(eq), cfg_(cfg), tp_(tp),
+                 RequestPool &pool, const TimingParams &tp)
+    : eq_(eq), cfg_(cfg), pool_(pool), tp_(tp),
       ranks_(cfg.ranksPerChannel()),
       banks_(cfg.ranksPerChannel() * cfg.banksPerRank),
       pdExitReadyAt_(cfg.ranksPerChannel(), 0)
@@ -18,11 +19,14 @@ Channel::Channel(EventQueue &eq, const MemConfig &cfg,
 
 Channel::~Channel()
 {
+    // Queued requests (including one in flight at each bank head) go
+    // back to the pool; their pending completion events die with the
+    // event queue and never observe the recycled storage.
     for (auto &bc : banks_)
-        for (MemRequest *r : bc.q)
-            delete r;
-    for (MemRequest *r : writeQueue_)
-        delete r;
+        while (!bc.q.empty())
+            pool_.release(bc.q.pop_front());
+    while (!writeQueue_.empty())
+        pool_.release(writeQueue_.pop_front());
 }
 
 Channel::BankCtl &
@@ -93,8 +97,7 @@ Channel::pumpWrites()
 {
     while (!writeQueue_.empty() &&
            (drainMode_ || pendingReads_ == 0)) {
-        MemRequest *w = writeQueue_.front();
-        writeQueue_.pop_front();
+        MemRequest *w = writeQueue_.pop_front();
         dispatchToBank(w);
         if (drainMode_ && writeQueue_.size() <= cfg_.writeQueueDepth / 4)
             drainMode_ = false;
@@ -111,14 +114,15 @@ Channel::tryService(std::uint32_t r, std::uint32_t b)
         return;
 
     // FR-FCFS: promote the oldest row hit to the head of the bank
-    // queue before committing to service order.
+    // queue before committing to service order (a pointer splice on
+    // the intrusive queue).
     if (cfg_.scheduler == SchedulerPolicy::FrFcfs &&
         bc.bank.rowState() == Bank::RowState::Open) {
-        for (auto it = bc.q.begin(); it != bc.q.end(); ++it) {
-            if ((*it)->loc.row == bc.bank.openRow()) {
-                MemRequest *hit = *it;
-                bc.q.erase(it);
-                bc.q.push_front(hit);
+        for (MemRequest *it = bc.q.head(); it != nullptr;
+             it = it->next) {
+            if (it->loc.row == bc.bank.openRow()) {
+                bc.q.unlink(it);
+                bc.q.push_front(it);
                 break;
             }
         }
@@ -258,24 +262,34 @@ Channel::tryService(std::uint32_t r, std::uint32_t b)
         emit(ev);
     }
 
-    // Accounting events at the actual transition times.
-    if (req->outcome == RowOutcome::OpenMiss) {
+    // Accounting events at the actual transition times, coalesced
+    // where that provably preserves ordering: the pre-close and
+    // act-open updates merge into one event when they fall on the
+    // same tick (their seqs were consecutive, so same-tick relative
+    // order is unchanged; across ticks they stay separate because an
+    // epoch-boundary rank sample may fire in between), and the rank
+    // burst accounting always rides on the completion event (both at
+    // burstEnd with consecutive seqs).  Net: two events per request
+    // in the common case instead of four.
+    if (req->outcome == RowOutcome::OpenMiss &&
+        open_miss_pre_done != act_at) {
         eq_.schedule(open_miss_pre_done,
                      [this, r] { ranks_[r].bankClosed(eq_.now()); });
     }
     if (did_act) {
-        eq_.schedule(act_at, [this, r] {
+        bool also_close = req->outcome == RowOutcome::OpenMiss &&
+                          open_miss_pre_done == act_at;
+        eq_.schedule(act_at, [this, r, also_close] {
+            if (also_close)
+                ranks_[r].bankClosed(eq_.now());
             ranks_[r].bankOpened(eq_.now());
             ranks_[r].noteActPre();
             counters_.pocc += 1;
         });
     }
-    bool is_write = req->isWrite;
     Tick burst_acct = chan_burst + bank_burst_extra;
-    eq_.schedule(req->burstEnd, [this, r, is_write, burst_acct] {
-        ranks_[r].noteBurst(is_write, burst_acct);
-    });
-    eq_.schedule(req->burstEnd, [this, req, chan_burst] {
+    eq_.schedule(req->burstEnd, [this, req, chan_burst, burst_acct] {
+        ranks_[req->loc.rank].noteBurst(req->isWrite, burst_acct);
         onBurstDone(req, chan_burst);
     });
 }
@@ -291,7 +305,7 @@ Channel::onBurstDone(MemRequest *req, Tick chan_burst)
     std::uint32_t b = req->loc.bank;
     BankCtl &bc = bankCtl(r, b);
 
-    if (bc.q.empty() || bc.q.front() != req)
+    if (bc.q.front() != req)
         panic("Channel: completion for a request not at bank head");
     bc.q.pop_front();
     bc.bank.setInService(false);
@@ -304,7 +318,8 @@ Channel::onBurstDone(MemRequest *req, Tick chan_burst)
     const TimingParams tp = tp_;
     bool keep_open = cfg_.pagePolicy == PagePolicy::OpenPage;
     if (!keep_open) {
-        for (const MemRequest *other : bc.q) {
+        for (const MemRequest *other = bc.q.head(); other != nullptr;
+             other = other->next) {
             if (other->loc.row == req->loc.row) {
                 keep_open = true;
                 break;
@@ -346,10 +361,10 @@ Channel::onBurstDone(MemRequest *req, Tick chan_burst)
         counters_.reads += 1;
         counters_.readLatencyTotal += now - req->arrival;
         --pendingReads_;
-        if (req->onComplete)
-            req->onComplete(now);
+        if (req->client != nullptr)
+            req->client->onMemComplete(now, *req);
     }
-    delete req;
+    pool_.release(req);
 
     tryService(r, b);
     pumpWrites();

@@ -18,7 +18,6 @@
 #define MEMSCALE_MEM_CHANNEL_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "check/command_observer.hh"
@@ -28,7 +27,9 @@
 #include "dram/timing.hh"
 #include "mem/config.hh"
 #include "mem/counters.hh"
+#include "mem/req_queue.hh"
 #include "mem/request.hh"
+#include "mem/request_pool.hh"
 #include "sim/event_queue.hh"
 
 namespace memscale
@@ -38,11 +39,13 @@ class Channel
 {
   public:
     /**
-     * @param eq  simulation event queue
-     * @param cfg memory organization
-     * @param tp  initial timing parameters
+     * @param eq   simulation event queue
+     * @param cfg  memory organization
+     * @param pool request pool (shared across the controller's
+     *             channels; must outlive the channel)
+     * @param tp   initial timing parameters
      */
-    Channel(EventQueue &eq, const MemConfig &cfg,
+    Channel(EventQueue &eq, const MemConfig &cfg, RequestPool &pool,
             const TimingParams &tp);
 
     ~Channel();
@@ -51,8 +54,9 @@ class Channel
     Channel &operator=(const Channel &) = delete;
 
     /**
-     * Accept a request.  The channel takes ownership and deletes the
-     * request after completion.  Reads invoke req->onComplete.
+     * Accept a request.  The channel takes ownership and recycles the
+     * request into the pool after completion.  Reads notify
+     * req->client first.
      */
     void access(MemRequest *req);
 
@@ -112,7 +116,7 @@ class Channel
     struct BankCtl
     {
         Bank bank;
-        std::deque<MemRequest *> q;
+        ReqQueue q;
     };
 
     BankCtl &bankCtl(std::uint32_t rank, std::uint32_t bank);
@@ -146,6 +150,7 @@ class Channel
 
     EventQueue &eq_;
     const MemConfig &cfg_;
+    RequestPool &pool_;
     McCounters counters_;
     TimingParams tp_;
 
@@ -153,7 +158,7 @@ class Channel
     std::vector<BankCtl> banks_;        ///< rank-major
     std::vector<Tick> pdExitReadyAt_;   ///< per rank
 
-    std::deque<MemRequest *> writeQueue_;
+    ReqQueue writeQueue_;
     bool drainMode_ = false;
 
     Tick busFreeAt_ = 0;

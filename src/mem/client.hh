@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Typed completion interface for memory reads.
+ *
+ * The controller delivers read completions through a MemClient pointer
+ * stored in the pooled request instead of a per-request
+ * std::function, so issuing a miss costs no allocation and no
+ * type-erased callable construction.  Core implements MemClient
+ * directly; bench/test code wraps lambdas with FnClient (one reusable
+ * adapter object) or LambdaClients (an owning arena for per-request
+ * lambdas).
+ */
+
+#ifndef MEMSCALE_MEM_CLIENT_HH
+#define MEMSCALE_MEM_CLIENT_HH
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace memscale
+{
+
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /**
+     * A read has completed at `when`.  `req` identifies the access
+     * (addr, core, arrival, outcome, ...) and is valid only for the
+     * duration of the call: it is recycled into the pool immediately
+     * after.
+     */
+    virtual void onMemComplete(Tick when, const MemRequest &req) = 0;
+};
+
+/**
+ * Adapter turning a callable into a MemClient (bench/tests).  The
+ * callable may take (Tick) or (Tick, const MemRequest &).  One
+ * FnClient can serve any number of outstanding requests; it must
+ * outlive them all.
+ */
+template <typename F>
+class FnClient final : public MemClient
+{
+  public:
+    explicit FnClient(F fn) : fn_(std::move(fn)) {}
+
+    void
+    onMemComplete(Tick when, const MemRequest &req) override
+    {
+        if constexpr (std::is_invocable_v<F &, Tick,
+                                          const MemRequest &>)
+            fn_(when, req);
+        else
+            fn_(when);
+    }
+
+  private:
+    F fn_;
+};
+
+/**
+ * Owning arena for one-shot lambda clients: test code that issues a
+ * distinct lambda per request parks the adapters here so they stay
+ * alive until the arena goes out of scope.
+ */
+class LambdaClients
+{
+  public:
+    template <typename F>
+    MemClient *
+    add(F fn)
+    {
+        owned_.push_back(
+            std::make_unique<FnClient<F>>(std::move(fn)));
+        return owned_.back().get();
+    }
+
+  private:
+    std::vector<std::unique_ptr<MemClient>> owned_;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEM_CLIENT_HH

@@ -15,13 +15,14 @@ MemoryController::MemoryController(EventQueue &eq, const MemConfig &cfg,
     const TimingParams &t = TimingParams::at(initial);
     channels_.reserve(cfg_.numChannels);
     for (std::uint32_t c = 0; c < cfg_.numChannels; ++c)
-        channels_.push_back(std::make_unique<Channel>(eq_, cfg_, t));
+        channels_.push_back(
+            std::make_unique<Channel>(eq_, cfg_, pool_, t));
 }
 
 MemRequest *
 MemoryController::makeRequest(Addr addr, CoreId core, bool is_write)
 {
-    auto *req = new MemRequest();
+    MemRequest *req = pool_.alloc();
     req->addr = addr;
     req->isWrite = is_write;
     req->core = core;
@@ -32,11 +33,10 @@ MemoryController::makeRequest(Addr addr, CoreId core, bool is_write)
 }
 
 void
-MemoryController::read(Addr addr, CoreId core,
-                       std::function<void(Tick)> on_done)
+MemoryController::read(Addr addr, CoreId core, MemClient *client)
 {
     MemRequest *req = makeRequest(addr, core, false);
-    req->onComplete = std::move(on_done);
+    req->client = client;
     channels_[req->loc.channel]->access(req);
 }
 

@@ -21,8 +21,10 @@
 #include "dram/timing.hh"
 #include "mem/address_map.hh"
 #include "mem/channel.hh"
+#include "mem/client.hh"
 #include "mem/config.hh"
 #include "mem/counters.hh"
+#include "mem/request_pool.hh"
 #include "power/system_power.hh"
 #include "sim/event_queue.hh"
 
@@ -35,8 +37,12 @@ class MemoryController
     MemoryController(EventQueue &eq, const MemConfig &cfg,
                      FreqIndex initial = nominalFreqIndex);
 
-    /** Issue an LLC miss; on_done fires when data returns. */
-    void read(Addr addr, CoreId core, std::function<void(Tick)> on_done);
+    /**
+     * Issue an LLC miss; client->onMemComplete fires when data
+     * returns.  The client must outlive the request (lambda-style
+     * callers wrap themselves in FnClient / LambdaClients, mem/client).
+     */
+    void read(Addr addr, CoreId core, MemClient *client);
 
     /** Issue an LLC writeback (fire and forget). */
     void writeback(Addr addr, CoreId core);
@@ -121,10 +127,15 @@ class MemoryController
     /** Total requests queued or in flight across channels. */
     std::size_t pending() const;
 
+    /** Request slab shared by this controller's channels. */
+    const RequestPool &requestPool() const { return pool_; }
+
   private:
     EventQueue &eq_;
     MemConfig cfg_;
     AddressMap map_;
+    /** Declared before channels_ so it outlives their destructors. */
+    RequestPool pool_;
     std::vector<FreqIndex> chanFreq_;
     std::vector<std::unique_ptr<Channel>> channels_;
     std::uint64_t nextSeq_ = 1;

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Intrusive doubly-linked request queue threaded through
+ * MemRequest::prev/next.  Replaces the per-bank and write-queue
+ * std::deques: push/pop/unlink are pointer splices with no allocation
+ * and no element shifting, which makes the FR-FCFS row-hit promotion
+ * and the closed-page keep-open scan O(1) pointer work per touched
+ * node.
+ *
+ * Invariants: a request is on at most one queue at a time; head->prev
+ * and tail->next are null; size() is exact at all times.  The queue
+ * does not own its requests — the channel releases them to the
+ * RequestPool when they retire (or when the channel is destroyed).
+ */
+
+#ifndef MEMSCALE_MEM_REQ_QUEUE_HH
+#define MEMSCALE_MEM_REQ_QUEUE_HH
+
+#include <cstddef>
+
+#include "common/log.hh"
+#include "mem/request.hh"
+
+namespace memscale
+{
+
+class ReqQueue
+{
+  public:
+    bool empty() const { return head_ == nullptr; }
+    std::size_t size() const { return n_; }
+    MemRequest *front() const { return head_; }
+
+    /** First node for `for (r = q.head(); r; r = r->next)` scans. */
+    MemRequest *head() const { return head_; }
+
+    void
+    push_back(MemRequest *r)
+    {
+        r->prev = tail_;
+        r->next = nullptr;
+        if (tail_ != nullptr)
+            tail_->next = r;
+        else
+            head_ = r;
+        tail_ = r;
+        ++n_;
+    }
+
+    void
+    push_front(MemRequest *r)
+    {
+        r->prev = nullptr;
+        r->next = head_;
+        if (head_ != nullptr)
+            head_->prev = r;
+        else
+            tail_ = r;
+        head_ = r;
+        ++n_;
+    }
+
+    MemRequest *
+    pop_front()
+    {
+        MemRequest *r = head_;
+        if (r == nullptr)
+            panic("ReqQueue: pop_front on empty queue");
+        unlink(r);
+        return r;
+    }
+
+    /** Splice a node out from anywhere in the queue. */
+    void
+    unlink(MemRequest *r)
+    {
+        if (r->prev != nullptr)
+            r->prev->next = r->next;
+        else
+            head_ = r->next;
+        if (r->next != nullptr)
+            r->next->prev = r->prev;
+        else
+            tail_ = r->prev;
+        r->prev = nullptr;
+        r->next = nullptr;
+        --n_;
+    }
+
+  private:
+    MemRequest *head_ = nullptr;
+    MemRequest *tail_ = nullptr;
+    std::size_t n_ = 0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEM_REQ_QUEUE_HH

@@ -2,18 +2,25 @@
  * @file
  * Memory request descriptor exchanged between cores, the memory
  * controller, and channels.
+ *
+ * Requests are pooled (mem/request_pool) and threaded through the
+ * channel's intrusive queues (mem/req_queue) via the embedded
+ * prev/next links, so the steady-state miss path performs no heap
+ * allocation.  Completion is delivered through the typed MemClient
+ * interface (mem/client) instead of a per-request std::function.
  */
 
 #ifndef MEMSCALE_MEM_REQUEST_HH
 #define MEMSCALE_MEM_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "common/types.hh"
 
 namespace memscale
 {
+
+class MemClient;
 
 /** Physical location of a line within the memory system. */
 struct DecodedAddr
@@ -61,8 +68,15 @@ struct MemRequest
     Tick bankBurstExtra = 0;
     /// @}
 
-    /** Completion callback (reads only); argument is the finish tick. */
-    std::function<void(Tick)> onComplete;
+    /** Completion sink (reads only); valid until the request retires. */
+    MemClient *client = nullptr;
+
+    /// @name Intrusive links: bank/write queue while queued, free list
+    /// while pooled.  Owned by ReqQueue / RequestPool; never touch.
+    /// @{
+    MemRequest *prev = nullptr;
+    MemRequest *next = nullptr;
+    /// @}
 };
 
 } // namespace memscale

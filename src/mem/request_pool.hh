@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Slab allocator for MemRequests, mirroring the event kernel's pooled
+ * slot design (sim/event_queue): requests live in chunked slabs with
+ * stable addresses and are recycled through an intrusive free list
+ * threaded over MemRequest::next, so the steady-state miss path never
+ * touches the heap.  One pool per MemoryController; capacity grows to
+ * the high-water mark of outstanding requests and stays there.
+ */
+
+#ifndef MEMSCALE_MEM_REQUEST_POOL_HH
+#define MEMSCALE_MEM_REQUEST_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mem/request.hh"
+
+namespace memscale
+{
+
+class RequestPool
+{
+  public:
+    /** Requests per slab chunk; chunks are never freed mid-run. */
+    static constexpr std::size_t ChunkSize = 64;
+
+    RequestPool() = default;
+    RequestPool(const RequestPool &) = delete;
+    RequestPool &operator=(const RequestPool &) = delete;
+
+    /** Fetch a zeroed request (grows the slab only when exhausted). */
+    MemRequest *
+    alloc()
+    {
+        if (freeHead_ == nullptr)
+            grow();
+        MemRequest *r = freeHead_;
+        freeHead_ = r->next;
+        ++inUse_;
+        *r = MemRequest{};
+        return r;
+    }
+
+    /** Return a retired request to the free list. */
+    void
+    release(MemRequest *r)
+    {
+        r->client = nullptr;
+        r->prev = nullptr;
+        r->next = freeHead_;
+        freeHead_ = r;
+        --inUse_;
+    }
+
+    /** Requests currently out of the pool (queued or in flight). */
+    std::size_t inUse() const { return inUse_; }
+
+    /** Total slab capacity (high-water mark, rounded to ChunkSize). */
+    std::size_t capacity() const { return chunks_.size() * ChunkSize; }
+
+  private:
+    void
+    grow()
+    {
+        chunks_.push_back(std::make_unique<MemRequest[]>(ChunkSize));
+        MemRequest *chunk = chunks_.back().get();
+        for (std::size_t i = ChunkSize; i-- > 0;) {
+            chunk[i].next = freeHead_;
+            freeHead_ = &chunk[i];
+        }
+    }
+
+    std::vector<std::unique_ptr<MemRequest[]>> chunks_;
+    MemRequest *freeHead_ = nullptr;
+    std::size_t inUse_ = 0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEM_REQUEST_POOL_HH

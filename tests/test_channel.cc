@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
+#include "mem/client.hh"
 #include "mem/controller.hh"
 #include "sim/event_queue.hh"
 
@@ -23,11 +25,20 @@ struct Harness
     EventQueue eq;
     MemConfig cfg;
     MemoryController mc;
+    LambdaClients clients;
 
     explicit Harness(FreqIndex f = nominalFreqIndex,
                      MemConfig c = MemConfig())
         : cfg(c), mc(eq, cfg, f)
     {
+    }
+
+    /** Issue a read with a lambda completion (pooled adapter). */
+    template <typename F>
+    void
+    read(Addr a, CoreId core, F fn)
+    {
+        mc.read(a, core, clients.add(std::move(fn)));
     }
 
     /** Address of (channel, rank, bank, row, column). */
@@ -48,7 +59,7 @@ struct Harness
     readAndWait(Addr a)
     {
         Tick done = 0;
-        mc.read(a, 0, [&](Tick t) { done = t; });
+        read(a, 0, [&](Tick t) { done = t; });
         eq.runUntil();
         return done;
     }
@@ -110,8 +121,8 @@ TEST(Channel, RowHitWhenQueuedTogether)
 {
     Harness h;
     Tick done1 = 0, done2 = 0;
-    h.mc.read(h.at(0, 0, 0, 7, 0), 0, [&](Tick t) { done1 = t; });
-    h.mc.read(h.at(0, 0, 0, 7, 1), 1, [&](Tick t) { done2 = t; });
+    h.read(h.at(0, 0, 0, 7, 0), 0, [&](Tick t) { done1 = t; });
+    h.read(h.at(0, 0, 0, 7, 1), 1, [&](Tick t) { done2 = t; });
     h.eq.runUntil();
     McCounters c = h.mc.sampleCounters();
     EXPECT_EQ(c.cbmc, 1u);
@@ -129,7 +140,7 @@ TEST(Channel, ClosedPageClosesWithoutPendingHit)
     // closed in between (closed-page), so both are closed-bank misses.
     Tick done1 = h.readAndWait(h.at(0, 0, 0, 7, 0));
     h.eq.runUntil(done1 + usToTick(1.0));
-    h.mc.read(h.at(0, 0, 0, 7, 1), 0, [](Tick) {});
+    h.read(h.at(0, 0, 0, 7, 1), 0, [](Tick) {});
     h.eq.runUntil();
     McCounters c = h.mc.sampleCounters();
     EXPECT_EQ(c.cbmc, 2u);
@@ -142,9 +153,9 @@ TEST(Channel, OpenMissPaysPrecharge)
     // Three requests to one bank: first opens row A (kept open for the
     // third, which matches row A), second wants row B -> open miss.
     Tick d2 = 0, d3 = 0;
-    h.mc.read(h.at(0, 0, 0, 1, 0), 0, [](Tick) {});
-    h.mc.read(h.at(0, 0, 0, 2, 0), 1, [&](Tick t) { d2 = t; });
-    h.mc.read(h.at(0, 0, 0, 1, 1), 2, [&](Tick t) { d3 = t; });
+    h.read(h.at(0, 0, 0, 1, 0), 0, [](Tick) {});
+    h.read(h.at(0, 0, 0, 2, 0), 1, [&](Tick t) { d2 = t; });
+    h.read(h.at(0, 0, 0, 1, 1), 2, [&](Tick t) { d3 = t; });
     h.eq.runUntil();
     McCounters c = h.mc.sampleCounters();
     // Row 1 is held open for the third request, so the second (row 2)
@@ -159,8 +170,8 @@ TEST(Channel, BankConflictSerializes)
 {
     Harness h;
     Tick d1 = 0, d2 = 0;
-    h.mc.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d1 = t; });
-    h.mc.read(h.at(0, 0, 0, 2), 1, [&](Tick t) { d2 = t; });
+    h.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d1 = t; });
+    h.read(h.at(0, 0, 0, 2), 1, [&](Tick t) { d2 = t; });
     h.eq.runUntil();
     // Second request waits for the first's full access + precharge.
     const TimingParams &tp = TimingParams::at(0);
@@ -171,8 +182,8 @@ TEST(Channel, ChannelsAreParallel)
 {
     Harness h;
     Tick d1 = 0, d2 = 0;
-    h.mc.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d1 = t; });
-    h.mc.read(h.at(1, 0, 0, 1), 1, [&](Tick t) { d2 = t; });
+    h.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d1 = t; });
+    h.read(h.at(1, 0, 0, 1), 1, [&](Tick t) { d2 = t; });
     h.eq.runUntil();
     EXPECT_EQ(d1, d2);   // independent channels, identical timing
 }
@@ -181,8 +192,8 @@ TEST(Channel, BusSerializesBanksOfOneChannel)
 {
     Harness h;
     Tick d1 = 0, d2 = 0;
-    h.mc.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d1 = t; });
-    h.mc.read(h.at(0, 0, 1, 1), 1, [&](Tick t) { d2 = t; });
+    h.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d1 = t; });
+    h.read(h.at(0, 0, 1, 1), 1, [&](Tick t) { d2 = t; });
     h.eq.runUntil();
     // Bank work overlaps; bursts serialize on the data bus.  The
     // second finishes one burst after the first (plus the rank tRRD
@@ -209,7 +220,7 @@ TEST(Channel, WriteQueueDrainsAtHalfFull)
     // writes must still complete once the queue hits half depth.
     for (std::uint32_t i = 0; i < h.cfg.writeQueueDepth; ++i)
         h.mc.writeback(h.at(0, 0, 1, 100 + i), 0);
-    h.mc.read(h.at(0, 0, 0, 1), 0, [](Tick) {});
+    h.read(h.at(0, 0, 0, 1), 0, [](Tick) {});
     h.eq.runUntil();
     McCounters c = h.mc.sampleCounters();
     EXPECT_EQ(c.writes, h.cfg.writeQueueDepth);
@@ -219,9 +230,9 @@ TEST(Channel, WriteQueueDrainsAtHalfFull)
 TEST(Channel, QueueCountersSeeOutstandingWork)
 {
     Harness h;
-    h.mc.read(h.at(0, 0, 0, 1), 0, [](Tick) {});
-    h.mc.read(h.at(0, 0, 0, 2), 1, [](Tick) {});
-    h.mc.read(h.at(0, 0, 0, 3), 2, [](Tick) {});
+    h.read(h.at(0, 0, 0, 1), 0, [](Tick) {});
+    h.read(h.at(0, 0, 0, 2), 1, [](Tick) {});
+    h.read(h.at(0, 0, 0, 3), 2, [](Tick) {});
     h.eq.runUntil();
     McCounters c = h.mc.sampleCounters();
     EXPECT_EQ(c.btc, 3u);
@@ -246,7 +257,7 @@ TEST(Channel, PowerdownEntryAndExit)
     McCounters before = h.mc.sampleCounters();
     Tick start = h.eq.now();
     Tick d2 = 0;
-    h.mc.read(h.at(0, 0, 0, 2), 0, [&](Tick t) { d2 = t; });
+    h.read(h.at(0, 0, 0, 2), 0, [&](Tick t) { d2 = t; });
     h.eq.runUntil();
     McCounters c = h.mc.sampleCounters();
     EXPECT_EQ(c.epdc - before.epdc, 1u);
@@ -264,7 +275,7 @@ TEST(Channel, SlowExitCostsMore)
         h.eq.runUntil(d1 + usToTick(1.0));
         Tick start = h.eq.now();
         Tick d2 = 0;
-        h.mc.read(h.at(0, 0, 0, 2), 0, [&](Tick t) { d2 = t; });
+        h.read(h.at(0, 0, 0, 2), 0, [&](Tick t) { d2 = t; });
         h.eq.runUntil();
         return d2 - start;
     };
@@ -285,7 +296,7 @@ TEST(Channel, FrequencyChangeStallsAndApplies)
     EXPECT_GE(resume, TimingParams::at(5).tRELOCK);
     // A read issued during the stall completes only after it.
     Tick done = 0;
-    h.mc.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { done = t; });
+    h.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { done = t; });
     h.eq.runUntil();
     EXPECT_GE(done, resume);
     McCounters c = h.mc.sampleCounters();
@@ -325,7 +336,7 @@ TEST(Channel, RefreshDelaysColocatedRead)
     h.eq.runUntil(usToTick(2.0));
     Tick start = h.eq.now();
     Tick done = 0;
-    h.mc.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { done = t; });
+    h.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { done = t; });
     h.eq.runUntil(start + usToTick(5.0));
     ASSERT_GT(done, 0u);
     // Latency is at least the uncontended time; not absurdly more.
@@ -349,7 +360,7 @@ TEST(Channel, PendingTracksOutstanding)
 {
     Harness h;
     EXPECT_EQ(h.mc.pending(), 0u);
-    h.mc.read(h.at(0, 0, 0, 1), 0, [](Tick) {});
+    h.read(h.at(0, 0, 0, 1), 0, [](Tick) {});
     h.mc.writeback(h.at(1, 0, 0, 1), 0);
     EXPECT_EQ(h.mc.pending(), 2u);
     h.eq.runUntil();

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "harness/experiment.hh"
+#include "mem/client.hh"
 #include "mem/controller.hh"
 #include "memscale/policies/perchannel_policy.hh"
 #include "sim/event_queue.hh"
@@ -22,8 +25,17 @@ struct Harness
     EventQueue eq;
     MemConfig cfg;
     MemoryController mc;
+    LambdaClients clients;
 
     explicit Harness(MemConfig c) : cfg(c), mc(eq, cfg) {}
+
+    /** Issue a read with a lambda completion (pooled adapter). */
+    template <typename F>
+    void
+    read(Addr a, CoreId core, F fn)
+    {
+        mc.read(a, core, clients.add(std::move(fn)));
+    }
 
     Addr
     at(std::uint32_t ch, std::uint32_t rank, std::uint32_t bank,
@@ -47,12 +59,12 @@ TEST(OpenPage, RowStaysOpenAcrossIdleGaps)
     cfg.pagePolicy = PagePolicy::OpenPage;
     Harness h(cfg);
     Tick d1 = 0;
-    h.mc.read(h.at(0, 0, 0, 7, 0), 0, [&](Tick t) { d1 = t; });
+    h.read(h.at(0, 0, 0, 7, 0), 0, [&](Tick t) { d1 = t; });
     h.eq.runUntil();
     h.eq.runUntil(d1 + usToTick(1.0));
     // The second access to the same row hits even after the idle gap
     // (closed-page would have precharged it).
-    h.mc.read(h.at(0, 0, 0, 7, 1), 0, [](Tick) {});
+    h.read(h.at(0, 0, 0, 7, 1), 0, [](Tick) {});
     h.eq.runUntil();
     McCounters c = h.mc.sampleCounters();
     EXPECT_EQ(c.rbhc, 1u);
@@ -65,9 +77,9 @@ TEST(OpenPage, ConflictPaysOpenMiss)
     cfg.pagePolicy = PagePolicy::OpenPage;
     Harness h(cfg);
     Tick d1 = 0;
-    h.mc.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d1 = t; });
+    h.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d1 = t; });
     h.eq.runUntil();
-    h.mc.read(h.at(0, 0, 0, 2), 0, [](Tick) {});
+    h.read(h.at(0, 0, 0, 2), 0, [](Tick) {});
     h.eq.runUntil();
     McCounters c = h.mc.sampleCounters();
     EXPECT_EQ(c.obmc, 1u);
@@ -81,9 +93,9 @@ TEST(FrFcfs, PromotesRowHits)
     // A opens row 1; B (row 2) and C (row 1) queue behind it.
     // FR-FCFS serves C before B.
     Tick db = 0, dc = 0;
-    h.mc.read(h.at(0, 0, 0, 1, 0), 0, [](Tick) {});
-    h.mc.read(h.at(0, 0, 0, 2, 0), 1, [&](Tick t) { db = t; });
-    h.mc.read(h.at(0, 0, 0, 1, 1), 2, [&](Tick t) { dc = t; });
+    h.read(h.at(0, 0, 0, 1, 0), 0, [](Tick) {});
+    h.read(h.at(0, 0, 0, 2, 0), 1, [&](Tick t) { db = t; });
+    h.read(h.at(0, 0, 0, 1, 1), 2, [&](Tick t) { dc = t; });
     h.eq.runUntil();
     EXPECT_LT(dc, db);
     McCounters c = h.mc.sampleCounters();
@@ -95,9 +107,9 @@ TEST(FrFcfs, FcfsKeepsArrivalOrder)
     MemConfig cfg;   // default FCFS
     Harness h(cfg);
     Tick db = 0, dc = 0;
-    h.mc.read(h.at(0, 0, 0, 1, 0), 0, [](Tick) {});
-    h.mc.read(h.at(0, 0, 0, 2, 0), 1, [&](Tick t) { db = t; });
-    h.mc.read(h.at(0, 0, 0, 1, 1), 2, [&](Tick t) { dc = t; });
+    h.read(h.at(0, 0, 0, 1, 0), 0, [](Tick) {});
+    h.read(h.at(0, 0, 0, 2, 0), 1, [&](Tick t) { db = t; });
+    h.read(h.at(0, 0, 0, 1, 1), 2, [&](Tick t) { dc = t; });
     h.eq.runUntil();
     EXPECT_LT(db, dc);
 }
@@ -115,10 +127,10 @@ TEST(PerChannelFreq, IndependentRelock)
 
     // Latency differs per channel accordingly.
     Tick d_fast = 0, d_slow = 0;
-    h.mc.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d_fast = t; });
+    h.read(h.at(0, 0, 0, 1), 0, [&](Tick t) { d_fast = t; });
     h.eq.runUntil();
     Tick t0 = h.eq.now();
-    h.mc.read(h.at(2, 0, 0, 1), 0, [&](Tick t) { d_slow = t; });
+    h.read(h.at(2, 0, 0, 1), 0, [&](Tick t) { d_slow = t; });
     h.eq.runUntil();
     EXPECT_GT(d_slow - t0, d_fast);
 }

@@ -13,6 +13,7 @@
 #include "common/log.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "mem/client.hh"
 #include "mem/controller.hh"
 #include "sim/event_queue.hh"
 
@@ -141,14 +142,14 @@ TEST(ThrottleMechanism, CapsBusUtilization)
     mc.setThrottle(0.25);
     // Saturating traffic to one channel.
     std::uint64_t done = 0;
+    FnClient client([&done](Tick) { ++done; });
     for (int i = 0; i < 400; ++i) {
         DecodedAddr d;
         d.channel = 0;
         d.bank = static_cast<std::uint32_t>(i % 8);
         d.rank = static_cast<std::uint32_t>(i % 4);
         d.row = static_cast<std::uint64_t>(i);
-        mc.read(mc.addressMap().encode(d), 0,
-                [&done](Tick) { ++done; });
+        mc.read(mc.addressMap().encode(d), 0, &client);
     }
     eq.runUntil();
     EXPECT_EQ(done, 400u);

@@ -10,6 +10,7 @@
 
 #include "common/rng.hh"
 #include "harness/experiment.hh"
+#include "mem/client.hh"
 #include "mem/controller.hh"
 #include "sim/event_queue.hh"
 
@@ -45,12 +46,13 @@ struct Harness
     {
         Rng rng(seed);
         std::uint64_t done = 0;
+        FnClient client([&done](Tick) { ++done; });
         for (int i = 0; i < n; ++i) {
             Addr a = (rng.next() % cfg.totalBytes()) & ~Addr(63);
             if (rng.chance(0.25))
                 mc.writeback(a, 0);
             else
-                mc.read(a, 0, [&done](Tick) { ++done; });
+                mc.read(a, 0, &client);
         }
         eq.runUntil();
         return done;

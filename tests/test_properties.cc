@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "mem/client.hh"
 #include "mem/controller.hh"
 #include "memscale/perf_model.hh"
 #include "power/dram_power.hh"
@@ -48,6 +49,15 @@ runRandomTraffic(MemConfig cfg, FreqIndex freq, std::uint64_t n,
         mc.startRefresh();
 
     TrafficResult res;
+    // One shared client serves every read: per-request context comes
+    // from the completed request itself (arrival == issue tick here).
+    FnClient client([&](Tick done, const MemRequest &req) {
+        ++res.completedReads;
+        Tick lat = done - req.arrival;
+        res.minLatency = std::min(res.minLatency, lat);
+        res.maxLatency = std::max(res.maxLatency, lat);
+        res.lastDone = std::max(res.lastDone, done);
+    });
     Rng rng(seed);
     Tick t = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -56,18 +66,10 @@ runRandomTraffic(MemConfig cfg, FreqIndex freq, std::uint64_t n,
         Addr addr = (rng.next() % cfg.totalBytes()) & ~Addr(63);
         bool is_write = rng.chance(0.2);
         eq.schedule(t, [&, addr, is_write] {
-            if (is_write) {
+            if (is_write)
                 mc.writeback(addr, 0);
-            } else {
-                Tick issued = eq.now();
-                mc.read(addr, 0, [&, issued](Tick done) {
-                    ++res.completedReads;
-                    Tick lat = done - issued;
-                    res.minLatency = std::min(res.minLatency, lat);
-                    res.maxLatency = std::max(res.maxLatency, lat);
-                    res.lastDone = std::max(res.lastDone, done);
-                });
-            }
+            else
+                mc.read(addr, 0, &client);
         });
     }
     eq.runUntil(t + msToTick(10.0));

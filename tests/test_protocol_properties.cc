@@ -13,6 +13,7 @@
 
 #include "check/protocol_checker.hh"
 #include "common/rng.hh"
+#include "mem/client.hh"
 #include "mem/controller.hh"
 #include "sim/event_queue.hh"
 
@@ -49,6 +50,7 @@ fuzz(std::uint64_t seed, int ops, bool refresh, bool powerdown)
     Rng rng(seed);
     const Addr span = cfg.totalBytes();
     std::uint64_t outstanding_cb = 0;
+    FnClient client([&](Tick) { --outstanding_cb; });
 
     for (int i = 0; i < ops; ++i) {
         switch (rng.next() % 16) {
@@ -81,7 +83,7 @@ fuzz(std::uint64_t seed, int ops, bool refresh, bool powerdown)
                 mc.writeback(a, 0);
             } else {
                 ++outstanding_cb;
-                mc.read(a, 0, [&](Tick) { --outstanding_cb; });
+                mc.read(a, 0, &client);
             }
             // Occasionally run the queue forward a little so traffic
             // overlaps in-flight service and refresh windows.

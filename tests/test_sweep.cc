@@ -135,6 +135,31 @@ TEST(SweepEngine, IdenticalConfigsHashIdenticallyAcrossWorkers)
     EXPECT_EQ(digests[0], serial);
 }
 
+TEST(SweepEngine, PoolStateDoesNotLeakAcrossSweepTasks)
+{
+    // Each sweep task owns a System, and with it a MemoryController
+    // whose RequestPool recycles request storage for the whole run.
+    // Interleave two different configurations so every worker services
+    // both back to back: if any pooled request state survived from a
+    // previous task (a stale client pointer, a non-reset field), the
+    // replica digests would diverge from the serial references.
+    SweepEngine eng(4);
+    SystemConfig a = tinyConfig("MID1");
+    SystemConfig b = tinyConfig("MEM2");
+    std::vector<std::uint64_t> digests = eng.map<std::uint64_t>(
+        8, [&](std::size_t i) {
+            const SystemConfig &cfg = (i % 2 == 0) ? a : b;
+            return hashRunResult(runPolicy(cfg, "memscale", 150.0));
+        });
+    std::uint64_t serialA =
+        hashRunResult(runPolicy(a, "memscale", 150.0));
+    std::uint64_t serialB =
+        hashRunResult(runPolicy(b, "memscale", 150.0));
+    for (std::size_t i = 0; i < digests.size(); ++i)
+        EXPECT_EQ(digests[i], i % 2 == 0 ? serialA : serialB)
+            << "task " << i;
+}
+
 TEST(SweepEngine, Oversubscription)
 {
     // Far more tasks than workers: everything still runs exactly once.
