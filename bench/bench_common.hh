@@ -26,6 +26,7 @@
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
+#include "obs/trace_writer.hh"
 #include "workload/mixes.hh"
 
 namespace memscale
@@ -49,9 +50,70 @@ benchConfig(int argc, char **argv, Config *out_conf = nullptr)
     cfg.memPowerFraction = conf.getDouble("memfrac", 0.40);
     cfg.power.proportionality = conf.getDouble("proportionality", 0.5);
     cfg.seed = static_cast<std::uint64_t>(conf.getInt("seed", 12345));
+    // Observability rides along whenever an export was requested
+    // (`--trace-out f.json`, `--stats-out f.csv`, or observe=1); the
+    // recording path never changes simulation results.
+    cfg.observe = conf.has("trace-out") || conf.has("stats-out") ||
+                  conf.getBool("observe", false);
     if (out_conf)
         *out_conf = conf;
     return cfg;
+}
+
+/** Insert `-label` before the extension: ("t.json", "MID3") -> "t-MID3.json". */
+inline std::string
+obsOutPath(std::string path, const std::string &label)
+{
+    if (label.empty())
+        return path;
+    auto slash = path.find_last_of('/');
+    auto dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        dot = path.size();
+    return path.substr(0, dot) + "-" + label + path.substr(dot);
+}
+
+/**
+ * Export the run's recorded timeline per the `--stats-out` (CSV, or
+ * JSON when the path ends in .json) and `--trace-out` (Chrome-trace /
+ * Perfetto JSON) flags.  `label` distinguishes runs when a driver
+ * produces several (one file per run).  No-op without the flags.
+ */
+inline void
+maybeExportObs(const Config &conf, const RunResult &r,
+               const std::string &label = "")
+{
+    const std::string stats = conf.getString("stats-out", "");
+    const std::string trace = conf.getString("trace-out", "");
+    if (stats.empty() && trace.empty())
+        return;
+    if (!r.obs || r.obs->epochs() == 0) {
+        warn("%s/%s: no epoch timeline to export (static policy or "
+             "observability off)",
+             r.mixName.c_str(), r.policyName.c_str());
+        return;
+    }
+    if (!stats.empty()) {
+        std::string path = obsOutPath(stats, label);
+        bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+        if (json ? r.obs->writeJson(path) : r.obs->writeCsv(path)) {
+            std::fprintf(stderr, "stats: wrote %zu epochs x %zu "
+                         "columns to %s\n",
+                         r.obs->epochs(), r.obs->columns(),
+                         path.c_str());
+        }
+    }
+    if (!trace.empty()) {
+        std::string path = obsOutPath(trace, label);
+        if (writeChromeTrace(*r.obs, path)) {
+            std::fprintf(stderr,
+                         "trace: wrote %s (load in Perfetto / "
+                         "chrome://tracing)\n",
+                         path.c_str());
+        }
+    }
 }
 
 /** Sweep engine honouring jobs=N / --jobs N / MEMSCALE_JOBS. */

@@ -36,6 +36,7 @@ main(int argc, char **argv)
     std::size_t i = 0;
     for (const MixSpec &mix : allMixes()) {
         const ComparisonResult &r = results[i++];
+        maybeExportObs(conf, r.policy, mix.name);
         t.addRow({mix.name, mix.klass, pct(r.memEnergySavings),
                   pct(r.sysEnergySavings),
                   fmt(tickToMs(r.base.runtime)),

@@ -26,6 +26,7 @@ main(int argc, char **argv)
     CalibratedBaseline cal = runBaselines(eng, {cfg})[0];
     ComparisonResult r =
         compareWithBase(cfg, cal.base, cal.rest, "memscale");
+    maybeExportObs(conf, r.policy);
 
     // Group cores by application (x4 instances each).
     std::map<std::string, std::vector<std::size_t>> by_app;

@@ -26,6 +26,7 @@ main(int argc, char **argv)
     CalibratedBaseline cal = runBaselines(eng, {cfg})[0];
     ComparisonResult r =
         compareWithBase(cfg, cal.base, cal.rest, "memscale");
+    maybeExportObs(conf, r.policy);
 
     std::map<std::string, std::vector<std::size_t>> by_app;
     for (std::size_t i = 0; i < r.policy.coreApp.size(); ++i)

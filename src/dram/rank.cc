@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/stat_registry.hh"
 
 namespace memscale
 {
@@ -188,6 +189,26 @@ Rank::sample(Tick now)
 {
     sync(now);
     return activity_;
+}
+
+void
+Rank::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".preTime", &activity_.preStandbyTime);
+    reg.addCounter(prefix + ".prePdTime",
+                   &activity_.prePowerdownTime);
+    reg.addCounter(prefix + ".slowPdTime",
+                   &activity_.slowPowerdownTime);
+    reg.addCounter(prefix + ".srTime", &activity_.selfRefreshTime);
+    reg.addCounter(prefix + ".actTime", &activity_.actStandbyTime);
+    reg.addCounter(prefix + ".actPdTime",
+                   &activity_.actPowerdownTime);
+    reg.addCounter(prefix + ".totalTime", &activity_.totalTime);
+    reg.addCounter(prefix + ".actPre", &activity_.actPreCount);
+    reg.addCounter(prefix + ".readBursts", &activity_.readBursts);
+    reg.addCounter(prefix + ".writeBursts", &activity_.writeBursts);
+    reg.addCounter(prefix + ".refreshes", &activity_.refreshes);
+    reg.addCounter(prefix + ".pdExits", &activity_.pdExits);
 }
 
 void

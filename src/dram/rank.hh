@@ -16,11 +16,15 @@
 #include <array>
 #include <cstdint>
 
+#include <string>
+
 #include "common/types.hh"
 #include "dram/timing.hh"
 
 namespace memscale
 {
+
+class StatRegistry;
 
 /**
  * Accumulated activity of one rank over an integration window.
@@ -97,6 +101,14 @@ class Rank
 
     /** Flush integration up to `now` and return cumulative activity. */
     const RankActivity &sample(Tick now);
+
+    /**
+     * Publish this rank's cumulative activity counters under `prefix`
+     * (e.g. "mc0.chan1.rank0").  Registers pointers only; the
+     * time-in-state values read as of the last sample() flush.
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
     bool powerdown() const { return ckeLow_; }
     bool slowPowerdown() const { return ckeLow_ && slowExit_; }

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
 #include "common/log.hh"
 
@@ -50,18 +52,40 @@ Table::print(const std::string &title) const
         print_row(row);
 
     if (const char *dir = std::getenv("MEMSCALE_CSV_DIR")) {
-        std::string slug;
-        for (char c : (title.empty() ? std::string("table") : title)) {
-            if (std::isalnum(static_cast<unsigned char>(c)))
-                slug += static_cast<char>(
-                    std::tolower(static_cast<unsigned char>(c)));
-            else if (!slug.empty() && slug.back() != '-')
-                slug += '-';
+        // Distinct titles can slugify identically ("Fig 5" and
+        // "Fig: 5"), and several benches reuse generic titles;
+        // suffix repeats instead of silently overwriting the
+        // earlier dump.  The registry is per-process and keyed by
+        // the full path, so parallel drivers in separate processes
+        // (the normal bench setup) are unaffected.
+        static std::mutex mu;
+        static std::map<std::string, int> used;
+        std::string base = std::string(dir) + "/" + csvSlug(title);
+        std::string path;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            int n = ++used[base];
+            path = n == 1 ? base + ".csv"
+                          : base + "-" + std::to_string(n) + ".csv";
         }
-        while (!slug.empty() && slug.back() == '-')
-            slug.pop_back();
-        writeCsv(std::string(dir) + "/" + slug + ".csv");
+        writeCsv(path, title);
     }
+}
+
+std::string
+csvSlug(const std::string &title)
+{
+    std::string slug;
+    for (char c : title) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            slug += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        else if (!slug.empty() && slug.back() != '-')
+            slug += '-';
+    }
+    while (!slug.empty() && slug.back() == '-')
+        slug.pop_back();
+    return slug.empty() ? "table" : slug;
 }
 
 namespace
@@ -85,9 +109,11 @@ csvEscape(const std::string &cell)
 } // namespace
 
 std::string
-Table::toCsv() const
+Table::toCsv(const std::string &title) const
 {
     std::string out;
+    if (!title.empty())
+        out += csvEscape(title) + '\n';
     auto emit = [&](const std::vector<std::string> &row) {
         for (std::size_t i = 0; i < row.size(); ++i) {
             if (i)
@@ -103,14 +129,15 @@ Table::toCsv() const
 }
 
 void
-Table::writeCsv(const std::string &path) const
+Table::writeCsv(const std::string &path,
+                const std::string &title) const
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         warn("Table: cannot write CSV to '%s'", path.c_str());
         return;
     }
-    std::string csv = toCsv();
+    std::string csv = toCsv(title);
     std::fwrite(csv.data(), 1, csv.size(), f);
     std::fclose(f);
 }

@@ -25,20 +25,34 @@ class Table
     /**
      * Render with aligned columns to stdout.  If the environment
      * variable MEMSCALE_CSV_DIR is set, the table is also written as
-     * <dir>/<slugified-title>.csv for plotting.
+     * <dir>/<csvSlug(title)>.csv for plotting; when two tables in the
+     * same process slugify to the same name, later ones get a "-2",
+     * "-3", ... suffix instead of silently overwriting the first.
      */
     void print(const std::string &title = "") const;
 
-    /** Serialize as RFC-4180-ish CSV. */
-    std::string toCsv() const;
+    /**
+     * Serialize as RFC-4180-ish CSV.  A non-empty title becomes the
+     * first line, escaped like any other cell (titles routinely
+     * contain commas and quotes — "Fig. 5: mem 17-71%, sys 6-31%").
+     */
+    std::string toCsv(const std::string &title = "") const;
 
     /** Write CSV to an explicit path. */
-    void writeCsv(const std::string &path) const;
+    void writeCsv(const std::string &path,
+                  const std::string &title = "") const;
 
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/**
+ * Filesystem-safe slug of a table title: lower-cased alphanumeric
+ * runs joined by single dashes ("Fig. 5: energy" -> "fig-5-energy").
+ * Never empty — an all-punctuation or empty title slugs to "table".
+ */
+std::string csvSlug(const std::string &title);
 
 /** Format helpers. */
 std::string fmt(double v, int precision = 2);

@@ -59,6 +59,17 @@ System::run()
     MemoryController mc(eq, cfg_.mem);
     PolicyContext ctx = cfg_.policyContext();
 
+    // Observability: registry + recorder exist only for observe runs;
+    // both are pure readers of state the simulation maintains anyway.
+    std::unique_ptr<StatRegistry> registry;
+    std::shared_ptr<EpochRecorder> recorder;
+    if (cfg_.observe) {
+        registry = std::make_unique<StatRegistry>();
+        mc.registerStats(*registry, "mc0");
+        policy_.registerStats(*registry, "policy");
+        recorder = std::make_shared<EpochRecorder>(registry.get());
+    }
+
     // Optional online protocol validation.  Environment- or
     // build-level strictness attaches the checker to every run
     // regardless of the config flag.
@@ -171,11 +182,24 @@ System::run()
         last_stall.assign(core_ptrs.size(), 0);
     }
 
+    if (recorder) {
+        ObsMeta meta;
+        meta.numCores = cfg_.numCores;
+        meta.numChannels = cfg_.mem.numChannels;
+        meta.ranksPerChannel = cfg_.mem.ranksPerChannel();
+        for (const AppProfile &p : profiles)
+            meta.coreNames.push_back(p.name);
+        meta.label = cfg_.mixName + "/" + policy_.name();
+        recorder->setMeta(std::move(meta));
+    }
+
     std::unique_ptr<EpochController> epochs;
     if (policy_.dynamic()) {
         epochs = std::make_unique<EpochController>(eq, mc, core_ptrs,
                                                    policy_, ctx);
         epochs->setBeforeCpuFreqChangeHook(close_interval);
+        if (recorder)
+            epochs->setRecorder(recorder.get());
         epochs->start();
     }
 
@@ -216,6 +240,12 @@ System::run()
         total_instr;
     if (epochs)
         res.timeline = epochs->history();
+    if (recorder) {
+        // The registry dies with this frame; the recorded buffer (a
+        // plain columnar copy) lives on in the result.
+        recorder->detach();
+        res.obs = std::move(recorder);
+    }
     if (checker) {
         res.protocolViolations = checker->violations();
         res.commandsChecked = checker->commandsChecked();

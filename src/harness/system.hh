@@ -11,8 +11,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "check/protocol_checker.hh"
 #include "common/types.hh"
+#include "obs/epoch_recorder.hh"
 #include "mem/config.hh"
 #include "workload/app_profile.hh"
 #include "mem/counters.hh"
@@ -85,6 +88,15 @@ struct SystemConfig
     bool protocolCheck = false;
     bool strictCheck = false;
 
+    /**
+     * Observability (src/obs): build a StatRegistry over the whole
+     * component tree and record a per-epoch columnar timeline into
+     * RunResult::obs.  Off by default; the recording path is purely
+     * read-only, so enabling it leaves every simulation result —
+     * including the golden state hashes — bit-identical.
+     */
+    bool observe = false;
+
     PolicyContext policyContext() const;
 };
 
@@ -111,6 +123,14 @@ struct RunResult
     std::uint64_t commandsChecked = 0;
     std::vector<std::string> protocolViolationSamples;
     /// @}
+
+    /**
+     * Recorded epoch timeline + stat snapshots (cfg.observe runs
+     * only; null otherwise).  Shared so RunResult stays cheap to
+     * copy through the sweep/differential plumbing, which ignores it:
+     * the state hashes and field diffs cover simulation outputs only.
+     */
+    std::shared_ptr<const EpochRecorder> obs;
 
     double avgCpi() const;
     double worstCpi() const;

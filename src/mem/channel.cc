@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "mem/client.hh"
+#include "obs/stat_registry.hh"
 
 namespace memscale
 {
@@ -530,6 +531,31 @@ Channel::sampleRanks(Tick now, std::vector<RankActivity> &out)
 {
     for (auto &rk : ranks_)
         out.push_back(rk.sample(now));
+}
+
+void
+Channel::registerStats(StatRegistry &reg,
+                       const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".rowHits", &counters_.rbhc);
+    reg.addCounter(prefix + ".openMisses", &counters_.obmc);
+    reg.addCounter(prefix + ".closedMisses", &counters_.cbmc);
+    reg.addCounter(prefix + ".reads", &counters_.reads);
+    reg.addCounter(prefix + ".writes", &counters_.writes);
+    reg.addCounter(prefix + ".bto", &counters_.bto);
+    reg.addCounter(prefix + ".btc", &counters_.btc);
+    reg.addCounter(prefix + ".ctc", &counters_.ctc);
+    reg.addGauge(prefix + ".cto", &counters_.cto);
+    reg.addCounter(prefix + ".pdExits", &counters_.epdc);
+    reg.addCounter(prefix + ".busBusyTime", &counters_.busBusyTime);
+    reg.addCounter(prefix + ".readLatency",
+                   &counters_.readLatencyTotal);
+    reg.addCounter(prefix + ".relockStall",
+                   &counters_.relockStallTime);
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        ranks_[r].registerStats(reg,
+                                prefix + ".rank" + std::to_string(r));
+    }
 }
 
 } // namespace memscale

@@ -35,6 +35,8 @@
 namespace memscale
 {
 
+class StatRegistry;
+
 class Channel
 {
   public:
@@ -103,6 +105,14 @@ class Channel
 
     /** This channel's cumulative counter block. */
     const McCounters &counters() const { return counters_; }
+
+    /**
+     * Publish this channel's counters (and its ranks') under `prefix`
+     * (e.g. "mc0.chan1").  Pointer registration only — no effect on
+     * scheduling or accounting.
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /** Requests queued or in flight (reads + writes). */
     std::size_t pending() const { return pending_; }

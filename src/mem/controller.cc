@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/stat_registry.hh"
 
 namespace memscale
 {
@@ -198,6 +199,25 @@ MemoryController::sampleActivity()
             TimingParams::at(chanFreq_[c]).busMHz);
     }
     return ia;
+}
+
+void
+MemoryController::registerStats(StatRegistry &reg,
+                                const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".freqTransitions", &freqTransitions_);
+    reg.addGauge(prefix + ".busMHz", [this] {
+        return static_cast<double>(busMHz());
+    });
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        const std::string chan =
+            prefix + ".chan" + std::to_string(c);
+        reg.addGauge(chan + ".busMHz", [this, c] {
+            return static_cast<double>(
+                TimingParams::at(chanFreq_[c]).busMHz);
+        });
+        channels_[c]->registerStats(reg, chan);
+    }
 }
 
 std::size_t

@@ -31,6 +31,8 @@
 namespace memscale
 {
 
+class StatRegistry;
+
 class MemoryController
 {
   public:
@@ -129,6 +131,15 @@ class MemoryController
 
     /** Request slab shared by this controller's channels. */
     const RequestPool &requestPool() const { return pool_; }
+
+    /**
+     * Publish the controller's stats tree under `prefix` (by
+     * convention "mc0"): controller-level counters, a per-channel
+     * busMHz gauge (the frequency-transition track of the trace
+     * exporter), and every channel's and rank's counter block.
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     EventQueue &eq_;

@@ -21,6 +21,8 @@
 namespace memscale
 {
 
+class EpochRecorder;
+
 /** One epoch of recorded history. */
 struct EpochRecord
 {
@@ -57,6 +59,13 @@ class EpochController
         beforeCpuFreqChange_ = std::move(fn);
     }
 
+    /**
+     * Attach an observability recorder; every endEpoch() appends one
+     * row (epoch envelope + the policy's decision trail + a registry
+     * snapshot).  nullptr (the default) keeps recording fully off.
+     */
+    void setRecorder(EpochRecorder *rec) { recorder_ = rec; }
+
   private:
     struct Snapshot
     {
@@ -83,6 +92,7 @@ class EpochController
     Tick epochStartTick_ = 0;
     std::vector<EpochRecord> history_;
     std::function<void()> beforeCpuFreqChange_;
+    EpochRecorder *recorder_ = nullptr;
 };
 
 } // namespace memscale

@@ -1,9 +1,11 @@
 #include "memscale/policies/memscale_policy.hh"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/log.hh"
 #include "memscale/energy_model.hh"
+#include "obs/stat_registry.hh"
 
 namespace memscale
 {
@@ -26,6 +28,7 @@ MemScalePolicy::configure(MemoryController &mc, const PolicyContext &ctx)
                                          : PowerdownMode::None);
     perf_ = PerfModel(ctx.cpuGHz);
     slackReady_ = false;
+    decision_ = PolicyDecision();
 }
 
 FreqIndex
@@ -80,6 +83,29 @@ MemScalePolicy::selectFrequency(const ProfileData &profile,
             best = f;
         }
     }
+
+    // Observability: capture the decision trail.  Every computation
+    // below re-derives values from the (already calibrated) models,
+    // so the simulation outcome is untouched whether or not anyone
+    // reads the record — the goldens pin this.
+    decision_.valid = true;
+    decision_.chosen = best;
+    double cpi_sum = 0.0;
+    std::uint32_t active = 0;
+    for (std::uint32_t c = 0; c < profile.cores.size(); ++c) {
+        if (!perf_.active(c))
+            continue;
+        cpi_sum += perf_.cpi(c, best);
+        ++active;
+    }
+    decision_.predictedCpi =
+        active ? cpi_sum / static_cast<double>(active) : 0.0;
+    EnergyPrediction chosen_pred =
+        EnergyModel::predict(perf_, profile, ctx, best);
+    decision_.predictedMemJ = chosen_pred.memory;
+    decision_.predictedSysJ = chosen_pred.system;
+    decision_.ser = EnergyModel::ser(perf_, profile, ctx, best,
+                                     opts_.memoryEnergyOnly);
     return best;
 }
 
@@ -103,6 +129,26 @@ MemScalePolicy::endEpoch(const ProfileData &epoch,
         double max_sec = epoch_model.coreTime(c, nominalFreqIndex);
         slack_.update(c, max_sec, actual);
     }
+    double min_slack = std::numeric_limits<double>::infinity();
+    for (std::uint32_t c = 0; c < slack_.size(); ++c)
+        min_slack = std::min(min_slack, slack_.slack(c));
+    decision_.minSlack =
+        slack_.size() ? min_slack : 0.0;
+}
+
+void
+MemScalePolicy::registerStats(StatRegistry &reg,
+                              const std::string &prefix)
+{
+    reg.addGauge(prefix + ".minSlack",
+                 [this] { return decision_.minSlack; });
+    reg.addGauge(prefix + ".ser", [this] { return decision_.ser; });
+    reg.addGauge(prefix + ".chosenMHz", [this] {
+        return static_cast<double>(
+            TimingParams::at(decision_.chosen).busMHz);
+    });
+    reg.addGauge(prefix + ".gamma",
+                 [this] { return slack_.gamma(); });
 }
 
 } // namespace memscale

@@ -45,11 +45,20 @@ class MemScalePolicy : public Policy
 
     const SlackTracker &slack() const { return slack_; }
 
+    PolicyDecision lastDecision() const override
+    {
+        return decision_;
+    }
+
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) override;
+
   private:
     Options opts_;
     SlackTracker slack_;
     PerfModel perf_;
     bool slackReady_ = false;
+    PolicyDecision decision_;
 };
 
 } // namespace memscale

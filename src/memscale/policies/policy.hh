@@ -23,6 +23,25 @@
 namespace memscale
 {
 
+class StatRegistry;
+
+/**
+ * Decision trail of a dynamic policy's most recent epoch, captured
+ * for observability (the EpochRecorder stores one per epoch).  All
+ * values are pure by-products of computations the policy already
+ * performs; filling the struct must never change policy behaviour.
+ */
+struct PolicyDecision
+{
+    bool valid = false;
+    FreqIndex chosen = nominalFreqIndex;
+    double predictedCpi = 0.0;  ///< mean predicted CPI at `chosen`
+    double predictedMemJ = 0.0; ///< predicted memory energy (J)
+    double predictedSysJ = 0.0; ///< predicted system energy (J)
+    double ser = 1.0;           ///< system energy ratio vs. nominal
+    double minSlack = 0.0;      ///< tightest per-core slack (s)
+};
+
 class Policy
 {
   public:
@@ -65,6 +84,24 @@ class Policy
      * The epoch controller applies it to every core.
      */
     virtual double selectedCpuGHz() const { return 0.0; }
+
+    /**
+     * Observability: the decision trail of the most recent epoch.
+     * Static policies (and dynamic ones that don't implement it)
+     * report an invalid/empty decision.
+     */
+    virtual PolicyDecision lastDecision() const { return {}; }
+
+    /**
+     * Observability: publish policy-internal gauges (slack balance,
+     * last SER, ...) under `prefix`.  Default: nothing.
+     */
+    virtual void
+    registerStats(StatRegistry &reg, const std::string &prefix)
+    {
+        (void)reg;
+        (void)prefix;
+    }
 };
 
 /**

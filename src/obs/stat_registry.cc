@@ -1,0 +1,151 @@
+#include "obs/stat_registry.hh"
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+bool
+StatRegistry::addEntry(const std::string &path, Entry e)
+{
+    if (path.empty()) {
+        warn("StatRegistry: refusing to register an empty name");
+        return false;
+    }
+    if (index_.count(path)) {
+        warn("StatRegistry: name collision on '%s' (keeping the "
+             "first registration)",
+             path.c_str());
+        return false;
+    }
+    index_.emplace(path, entries_.size());
+    entries_.push_back(std::move(e));
+    names_.push_back(path);
+    return true;
+}
+
+bool
+StatRegistry::addCounter(const std::string &path,
+                         const std::uint64_t *v)
+{
+    Entry e;
+    e.kind = Entry::Kind::Counter;
+    e.ptr = v;
+    return addEntry(path, std::move(e));
+}
+
+bool
+StatRegistry::addGauge(const std::string &path, const double *v)
+{
+    Entry e;
+    e.kind = Entry::Kind::GaugePtr;
+    e.ptr = v;
+    return addEntry(path, std::move(e));
+}
+
+bool
+StatRegistry::addGauge(const std::string &path,
+                       std::function<double()> fn)
+{
+    Entry e;
+    e.kind = Entry::Kind::GaugeFn;
+    e.fn = std::move(fn);
+    return addEntry(path, std::move(e));
+}
+
+bool
+StatRegistry::addAccumulator(const std::string &path,
+                             const Accumulator *a)
+{
+    const char *suffixes[] = {".count", ".mean", ".min", ".max"};
+    for (const char *s : suffixes) {
+        if (index_.count(path + s)) {
+            warn("StatRegistry: name collision on '%s%s'",
+                 path.c_str(), s);
+            return false;
+        }
+    }
+    addGauge(path + ".count", [a] {
+        return static_cast<double>(a->count());
+    });
+    addGauge(path + ".mean", [a] { return a->mean(); });
+    addGauge(path + ".min", [a] { return a->min(); });
+    addGauge(path + ".max", [a] { return a->max(); });
+    return true;
+}
+
+bool
+StatRegistry::addHistogram(const std::string &path, const Histogram *h)
+{
+    const char *suffixes[] = {".count", ".p50", ".p95", ".p99"};
+    for (const char *s : suffixes) {
+        if (index_.count(path + s)) {
+            warn("StatRegistry: name collision on '%s%s'",
+                 path.c_str(), s);
+            return false;
+        }
+    }
+    addGauge(path + ".count", [h] {
+        return static_cast<double>(h->count());
+    });
+    addGauge(path + ".p50", [h] { return h->percentile(0.50); });
+    addGauge(path + ".p95", [h] { return h->percentile(0.95); });
+    addGauge(path + ".p99", [h] { return h->percentile(0.99); });
+    return true;
+}
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    return index_.count(path) > 0;
+}
+
+std::vector<std::string>
+StatRegistry::namesWithPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (const std::string &n : names_) {
+        // A prefix matches itself or any dot-separated descendant.
+        if (n.size() >= prefix.size() &&
+            n.compare(0, prefix.size(), prefix) == 0 &&
+            (n.size() == prefix.size() || n[prefix.size()] == '.' ||
+             prefix.empty()))
+            out.push_back(n);
+    }
+    return out;
+}
+
+double
+StatRegistry::read(std::size_t idx) const
+{
+    const Entry &e = entries_.at(idx);
+    switch (e.kind) {
+      case Entry::Kind::Counter:
+        return static_cast<double>(
+            *static_cast<const std::uint64_t *>(e.ptr));
+      case Entry::Kind::GaugePtr:
+        return *static_cast<const double *>(e.ptr);
+      case Entry::Kind::GaugeFn:
+        return e.fn();
+    }
+    return 0.0;
+}
+
+double
+StatRegistry::read(const std::string &path) const
+{
+    auto it = index_.find(path);
+    if (it == index_.end())
+        fatal("StatRegistry: unknown stat '%s'", path.c_str());
+    return read(it->second);
+}
+
+void
+StatRegistry::snapshot(std::vector<double> &out) const
+{
+    out.resize(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        out[i] = read(i);
+}
+
+} // namespace memscale

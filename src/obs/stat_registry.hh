@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hierarchical statistics registry (the observability backbone).
+ *
+ * Components register named views onto counters and gauges they
+ * already maintain — the registry stores *pointers*, never copies, so
+ * registration adds zero work to the simulation hot path.  Names are
+ * dot-separated component paths ("mc0.chan1.rank0.rowHits"), which
+ * gives the registry its hierarchy for free: prefix queries walk the
+ * tree without any explicit node structure.
+ *
+ * Reading happens only at snapshot time (epoch boundaries, end of
+ * run), and only when observability is enabled for the run; a run
+ * with observability off never constructs a registry at all.
+ *
+ * Aggregate types (Accumulator, Histogram) expand into derived scalar
+ * columns at registration ("lat.mean", "lat.p95", ...), so a snapshot
+ * is always one flat vector of doubles — the columnar layout the
+ * EpochRecorder stores and the exporters serialize.
+ */
+
+#ifndef MEMSCALE_OBS_STAT_REGISTRY_HH
+#define MEMSCALE_OBS_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace memscale
+{
+
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /// @name Registration.
+    ///
+    /// All registration returns false (and leaves the registry
+    /// untouched, with a warning) on a name collision; the first
+    /// registration of a path wins.  The registered object must
+    /// outlive every snapshot of the registry.
+    /// @{
+
+    /** A monotonically increasing 64-bit counter (or tick total). */
+    bool addCounter(const std::string &path, const std::uint64_t *v);
+
+    /** A point-in-time scalar read directly from memory. */
+    bool addGauge(const std::string &path, const double *v);
+
+    /** A point-in-time scalar computed on demand. */
+    bool addGauge(const std::string &path, std::function<double()> fn);
+
+    /**
+     * An Accumulator, expanded into derived columns `<path>.count`,
+     * `<path>.mean`, `<path>.min`, `<path>.max`.  Rejected wholesale
+     * if any derived name collides.
+     */
+    bool addAccumulator(const std::string &path, const Accumulator *a);
+
+    /**
+     * A Histogram, expanded into `<path>.count`, `<path>.p50`,
+     * `<path>.p95`, `<path>.p99`.
+     */
+    bool addHistogram(const std::string &path, const Histogram *h);
+    /// @}
+
+    /// @name Introspection & reading.
+    /// @{
+    std::size_t size() const { return entries_.size(); }
+    bool has(const std::string &path) const;
+
+    /** All column names, in registration order. */
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** Names under a hierarchy prefix ("mc0.chan1" matches children). */
+    std::vector<std::string>
+    namesWithPrefix(const std::string &prefix) const;
+
+    /** Read column `idx` (registration order). */
+    double read(std::size_t idx) const;
+
+    /** Read a column by full path; fatal() on unknown names. */
+    double read(const std::string &path) const;
+
+    /** Fill `out` with every column's current value, in order. */
+    void snapshot(std::vector<double> &out) const;
+    /// @}
+
+  private:
+    struct Entry
+    {
+        enum class Kind { Counter, GaugePtr, GaugeFn } kind;
+        const void *ptr = nullptr;
+        std::function<double()> fn;
+    };
+
+    bool addEntry(const std::string &path, Entry e);
+
+    std::vector<Entry> entries_;
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_OBS_STAT_REGISTRY_HH

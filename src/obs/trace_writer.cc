@@ -1,0 +1,305 @@
+#include "obs/trace_writer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace memscale
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+/** Incremental traceEvents array builder. */
+class EventSink
+{
+  public:
+    void
+    meta(int pid, int tid, const char *what, const std::string &name)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,", pid,
+                      tid);
+        add(std::string(buf) + "\"name\":\"" + what +
+            "\",\"args\":{\"name\":\"" + jsonEscape(name) + "\"}}");
+    }
+
+    void
+    duration(int pid, int tid, const std::string &name, double ts_us,
+             double dur_us, const std::string &args_json)
+    {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,"
+                      "\"dur\":%s,",
+                      pid, tid, num(ts_us).c_str(),
+                      num(dur_us).c_str());
+        add("{\"name\":\"" + jsonEscape(name) + "\"," + buf +
+            "\"args\":{" + args_json + "}}");
+    }
+
+    std::string
+    finish() const
+    {
+        return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" +
+               body_ + "\n]}\n";
+    }
+
+  private:
+    void
+    add(std::string ev)
+    {
+        if (!body_.empty())
+            body_ += ",\n";
+        body_ += std::move(ev);
+    }
+
+    std::string body_;
+};
+
+constexpr int PidCores = 1;
+constexpr int PidMemory = 2;
+constexpr int PidPower = 3;
+
+/** Quarter-CPI buckets define a "phase" for merging purposes. */
+double
+cpiBucket(double cpi)
+{
+    return std::round(cpi * 4.0) / 4.0;
+}
+
+void
+emitCoreTracks(const EpochRecorder &rec, EventSink &sink)
+{
+    const ObsMeta &meta = rec.meta();
+    const std::size_t rows = rec.epochs();
+    const std::size_t start_c = rec.columnIndex("start_ms");
+    const std::size_t end_c = rec.columnIndex("end_ms");
+    for (std::uint32_t core = 0;; ++core) {
+        std::size_t col = rec.columnIndex(
+            "core" + std::to_string(core) + ".cpi");
+        if (col == EpochRecorder::npos)
+            break;
+        std::string tname = core < meta.coreNames.size()
+                                ? meta.coreNames[core] + " (core" +
+                                      std::to_string(core) + ")"
+                                : "core" + std::to_string(core);
+        sink.meta(PidCores, static_cast<int>(core), "thread_name",
+                  tname);
+        std::size_t r = 0;
+        while (r < rows) {
+            double bucket = cpiBucket(rec.at(r, col));
+            double sum = 0.0;
+            std::size_t first = r;
+            while (r < rows && cpiBucket(rec.at(r, col)) == bucket)
+                sum += rec.at(r++, col);
+            double t0 = rec.at(first, start_c) * 1000.0;
+            double t1 = rec.at(r - 1, end_c) * 1000.0;
+            double mean = sum / static_cast<double>(r - first);
+            char name[32];
+            std::snprintf(name, sizeof(name), "cpi~%.2f", bucket);
+            sink.duration(PidCores, static_cast<int>(core), name, t0,
+                          t1 - t0,
+                          "\"cpi_mean\":" + num(mean) +
+                              ",\"epochs\":" +
+                              std::to_string(r - first));
+        }
+    }
+}
+
+void
+emitFrequencyTracks(const EpochRecorder &rec, EventSink &sink)
+{
+    const std::size_t rows = rec.epochs();
+    const std::size_t start_c = rec.columnIndex("start_ms");
+    const std::size_t end_c = rec.columnIndex("end_ms");
+
+    // Per-channel frequency columns registered by the controller
+    // ("mc0.chan3.busMHz"); the controller-domain "bus_mhz" column is
+    // the fallback when none were registered.
+    struct Track
+    {
+        std::string name;
+        std::size_t col;
+    };
+    std::vector<Track> tracks;
+    for (const std::string &n : rec.columnNames()) {
+        auto pos = n.rfind(".busMHz");
+        if (pos != std::string::npos &&
+            pos + 7 == n.size() &&
+            n.find(".chan") != std::string::npos)
+            tracks.push_back({n.substr(0, pos), rec.columnIndex(n)});
+    }
+    if (tracks.empty())
+        tracks.push_back({"bus", rec.columnIndex("bus_mhz")});
+
+    for (std::size_t t = 0; t < tracks.size(); ++t) {
+        sink.meta(PidMemory, static_cast<int>(t), "thread_name",
+                  tracks[t].name + " frequency");
+        std::size_t r = 0;
+        while (r < rows) {
+            double mhz = rec.at(r, tracks[t].col);
+            std::size_t first = r;
+            while (r < rows && rec.at(r, tracks[t].col) == mhz)
+                ++r;
+            double t0 = rec.at(first, start_c) * 1000.0;
+            double t1 = rec.at(r - 1, end_c) * 1000.0;
+            char name[32];
+            std::snprintf(name, sizeof(name), "%.0f MHz", mhz);
+            sink.duration(PidMemory, static_cast<int>(t), name, t0,
+                          t1 - t0, "\"mhz\":" + num(mhz));
+        }
+    }
+}
+
+void
+emitResidencyTracks(const EpochRecorder &rec, EventSink &sink)
+{
+    const std::size_t rows = rec.epochs();
+    const std::size_t start_c = rec.columnIndex("start_ms");
+    const std::size_t end_c = rec.columnIndex("end_ms");
+
+    // Rank groups are discovered from the cumulative time-in-state
+    // columns Rank::registerStats publishes.
+    std::vector<std::string> groups;
+    for (const std::string &n : rec.columnNames()) {
+        auto pos = n.rfind(".preTime");
+        if (pos != std::string::npos && pos + 8 == n.size() &&
+            n.find(".rank") != std::string::npos)
+            groups.push_back(n.substr(0, pos));
+    }
+
+    struct StateCol
+    {
+        const char *suffix;
+        const char *label;
+    };
+    const StateCol states[] = {
+        {".actTime", "act-standby"},
+        {".actPdTime", "act-powerdown"},
+        {".preTime", "pre-standby"},
+        {".prePdTime", "pre-powerdown"},
+    };
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        std::size_t cols[4];
+        bool complete = true;
+        for (int s = 0; s < 4; ++s) {
+            cols[s] = rec.columnIndex(groups[g] + states[s].suffix);
+            complete &= cols[s] != EpochRecorder::npos;
+        }
+        std::size_t total_c =
+            rec.columnIndex(groups[g] + ".totalTime");
+        std::size_t sr_c = rec.columnIndex(groups[g] + ".srTime");
+        if (!complete || total_c == EpochRecorder::npos)
+            continue;
+
+        sink.meta(PidPower, static_cast<int>(g), "thread_name",
+                  groups[g] + " residency");
+        double prev[4] = {0, 0, 0, 0};
+        double prev_total = 0.0, prev_sr = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) {
+            double d[4];
+            for (int s = 0; s < 4; ++s) {
+                double cur = rec.at(r, cols[s]);
+                d[s] = cur - prev[s];
+                prev[s] = cur;
+            }
+            double total = rec.at(r, total_c);
+            double dt = total - prev_total;
+            prev_total = total;
+            double sr = sr_c != EpochRecorder::npos
+                            ? rec.at(r, sr_c)
+                            : 0.0;
+            double dsr = sr - prev_sr;
+            prev_sr = sr;
+            if (dt <= 0.0)
+                continue;
+            int dominant = 0;
+            for (int s = 1; s < 4; ++s)
+                if (d[s] > d[dominant])
+                    dominant = s;
+            std::string args;
+            for (int s = 0; s < 4; ++s) {
+                args += std::string("\"") + states[s].label +
+                        "\":" + num(d[s] / dt) + ",";
+            }
+            args += "\"self_refresh\":" + num(dsr / dt);
+            double t0 = rec.at(r, start_c) * 1000.0;
+            double t1 = rec.at(r, end_c) * 1000.0;
+            sink.duration(PidPower, static_cast<int>(g),
+                          states[dominant].label, t0, t1 - t0, args);
+        }
+    }
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const EpochRecorder &rec)
+{
+    EventSink sink;
+    std::string label =
+        rec.meta().label.empty() ? "memscale" : rec.meta().label;
+    sink.meta(PidCores, 0, "process_name", label + " cores");
+    sink.meta(PidMemory, 0, "process_name", label + " memory");
+    sink.meta(PidPower, 0, "process_name", label + " power");
+    if (rec.epochs() > 0 &&
+        rec.columnIndex("start_ms") != EpochRecorder::npos) {
+        emitCoreTracks(rec, sink);
+        emitFrequencyTracks(rec, sink);
+        emitResidencyTracks(rec, sink);
+    }
+    return sink.finish();
+}
+
+bool
+writeChromeTrace(const EpochRecorder &rec, const std::string &path)
+{
+    std::string body = chromeTraceJson(rec);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("writeChromeTrace: cannot write '%s'", path.c_str());
+        return false;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace memscale

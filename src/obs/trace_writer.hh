@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto JSON) export of a
+ * recorded epoch timeline.
+ *
+ * The writer renders three process groups of duration events from an
+ * EpochRecorder buffer:
+ *
+ *  - "cores": one track per core, consecutive epochs with similar CPI
+ *    merged into one phase event (so application phase changes show
+ *    up as block boundaries);
+ *  - "memory": one track per channel with a duration event per
+ *    constant-frequency run — a frequency transition is the boundary
+ *    between two blocks;
+ *  - "power": one track per (channel, rank) with a per-epoch event
+ *    named after the dominant power state, residency fractions in the
+ *    event args.
+ *
+ * Channel and rank tracks are discovered from the registry column
+ * names the recorder captured ("….chan1.busMHz", "….rank0.preTime"),
+ * so anything registered under the standard component paths shows up
+ * without writer changes.  Event timestamps are microseconds and
+ * strictly monotone per track (pinned by test_obs).
+ */
+
+#ifndef MEMSCALE_OBS_TRACE_WRITER_HH
+#define MEMSCALE_OBS_TRACE_WRITER_HH
+
+#include <string>
+
+#include "obs/epoch_recorder.hh"
+
+namespace memscale
+{
+
+/** Render the whole timeline as one Chrome-trace JSON document. */
+std::string chromeTraceJson(const EpochRecorder &rec);
+
+/** chromeTraceJson() to a file; false (with a warning) on I/O error. */
+bool writeChromeTrace(const EpochRecorder &rec, const std::string &path);
+
+} // namespace memscale
+
+#endif // MEMSCALE_OBS_TRACE_WRITER_HH

@@ -155,6 +155,29 @@ TEST(Golden, HashIsRunToRunStable)
     EXPECT_EQ(mixHash("MID1"), mixHash("MID1"));
 }
 
+TEST(Golden, ObservabilityIsBehaviourFree)
+{
+    // Attaching the stat registry + epoch recorder must not perturb
+    // the simulation by a single bit: the observe run's digest has to
+    // equal the plain run's, epoch for epoch.  This is the contract
+    // that lets --trace-out ride along on any experiment without
+    // invalidating the goldens above.
+    SystemConfig plain = goldenConfig("MID2");
+    SystemConfig observed = goldenConfig("MID2");
+    observed.observe = true;
+
+    RunResult off = runPolicy(plain, "memscale", GoldenRestWatts);
+    RunResult on = runPolicy(observed, "memscale", GoldenRestWatts);
+    EXPECT_EQ(hashRunResult(on), hashRunResult(off));
+
+    // The recorder exists only on the observe run, and captured
+    // exactly one row per epoch decision.
+    EXPECT_EQ(off.obs, nullptr);
+    ASSERT_TRUE(on.obs);
+    EXPECT_EQ(on.obs->epochs(), on.timeline.size());
+    EXPECT_EQ(off.timeline.size(), on.timeline.size());
+}
+
 TEST(Golden, HashDistinguishesSeeds)
 {
     SystemConfig a = goldenConfig("MID1");

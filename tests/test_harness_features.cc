@@ -57,19 +57,82 @@ TEST(Report, CsvFileWrite)
     std::remove(path.c_str());
 }
 
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
 TEST(Report, EnvDrivenCsvDump)
 {
     setenv("MEMSCALE_CSV_DIR", "/tmp", 1);
     Table t({"col"});
     t.addRow({"val"});
-    t.print("My Table: Test!");
+    t.print("My Table: Dump!");
     unsetenv("MEMSCALE_CSV_DIR");
-    std::ifstream in("/tmp/my-table-test.csv");
+    std::ifstream in("/tmp/my-table-dump.csv");
     ASSERT_TRUE(in.good());
     std::stringstream ss;
     ss << in.rdbuf();
-    EXPECT_EQ(ss.str(), "col\nval\n");
-    std::remove("/tmp/my-table-test.csv");
+    EXPECT_EQ(ss.str(), "My Table: Dump!\ncol\nval\n");
+    std::remove("/tmp/my-table-dump.csv");
+}
+
+TEST(Report, SlugHelper)
+{
+    EXPECT_EQ(csvSlug("Fig. 5: energy savings"), "fig-5-energy-savings");
+    EXPECT_EQ(csvSlug("  Mixed CASE  42  "), "mixed-case-42");
+    // Never empty, never a hidden/dash-only filename.
+    EXPECT_EQ(csvSlug(""), "table");
+    EXPECT_EQ(csvSlug("!!! ,,, :::"), "table");
+}
+
+TEST(Report, CsvTitleEscaping)
+{
+    // Titles with commas and quotes must survive as one escaped CSV
+    // field, not split the header line.
+    Table t({"a"});
+    t.addRow({"1"});
+    std::string csv = t.toCsv("mem 17-71%, sys \"6-31%\"");
+    EXPECT_EQ(csv, "\"mem 17-71%, sys \"\"6-31%\"\"\"\na\n1\n");
+    // No title: unchanged legacy serialization.
+    EXPECT_EQ(t.toCsv(), "a\n1\n");
+}
+
+TEST(Report, SlugCollisionsGetDistinctFiles)
+{
+    setenv("MEMSCALE_CSV_DIR", "/tmp", 1);
+    Table a({"x"});
+    a.addRow({"first"});
+    Table b({"x"});
+    b.addRow({"second"});
+    Table c({"x"});
+    c.addRow({"third"});
+    // Distinct titles, same slug: "collide-me" all three times.
+    a.print("Collide, me?");
+    b.print("Collide Me");
+    c.print("collide:me");
+    unsetenv("MEMSCALE_CSV_DIR");
+
+    std::string f1 = slurp("/tmp/collide-me.csv");
+    std::string f2 = slurp("/tmp/collide-me-2.csv");
+    std::string f3 = slurp("/tmp/collide-me-3.csv");
+    EXPECT_NE(f1.find("first"), std::string::npos);
+    EXPECT_NE(f2.find("second"), std::string::npos);
+    EXPECT_NE(f3.find("third"), std::string::npos);
+    // The first file kept its original title (not overwritten).
+    EXPECT_NE(f1.find("Collide, me?"), std::string::npos);
+    std::remove("/tmp/collide-me.csv");
+    std::remove("/tmp/collide-me-2.csv");
+    std::remove("/tmp/collide-me-3.csv");
 }
 
 TEST(Report, Formatters)

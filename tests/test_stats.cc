@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Hardening tests for the statistics primitives backing the
+ * observability layer: Histogram percentile edge cases and the
+ * Accumulator parallel-merge serial-equivalence property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace memscale;
+
+// ---------------------------------------------------------------------------
+// Histogram::percentile edge cases
+// ---------------------------------------------------------------------------
+
+TEST(HistogramPercentile, EmptyReturnsLowerBound)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(HistogramPercentile, PZeroReturnsLowerBound)
+{
+    Histogram h(2.0, 12.0, 5);
+    for (double x : {3.0, 5.0, 7.0, 11.0})
+        h.add(x);
+    // target = 0 samples: nothing needs to fall below, so lo.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+}
+
+TEST(HistogramPercentile, POneCoversAllSamples)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (double x : {0.5, 1.5, 2.5, 9.5})
+        h.add(x);
+    // p=1 must return an upper edge at or above the last occupied
+    // bucket; with the top sample in [9,10) that is the histogram hi.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+
+    Histogram low(0.0, 10.0, 10);
+    low.add(0.5);
+    low.add(0.7);
+    // All mass in the first bucket: p=1 is that bucket's upper edge.
+    EXPECT_DOUBLE_EQ(low.percentile(1.0), 1.0);
+}
+
+TEST(HistogramPercentile, AllUnderflowReturnsLowerBound)
+{
+    Histogram h(10.0, 20.0, 4);
+    for (int i = 0; i < 8; ++i)
+        h.add(-5.0);
+    EXPECT_EQ(h.underflow(), 8u);
+    EXPECT_EQ(h.count(), 8u);
+    // Every percentile is pinned at lo: all mass sits below the range.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(HistogramPercentile, AllOverflowReturnsUpperBound)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (int i = 0; i < 8; ++i)
+        h.add(99.0);
+    EXPECT_EQ(h.overflow(), 8u);
+    // The scan exhausts every bucket without reaching the target, so
+    // any p > 0 saturates at hi.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+    // p=0 still reports lo (zero samples required below it).
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+}
+
+TEST(HistogramPercentile, MonotoneInP)
+{
+    Histogram h(0.0, 100.0, 50);
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        h.add(rng.uniform(-10.0, 110.0));
+    double prev = h.percentile(0.0);
+    for (double p = 0.05; p <= 1.0 + 1e-12; p += 0.05) {
+        double cur = h.percentile(p);
+        EXPECT_GE(cur, prev) << "percentile not monotone at p=" << p;
+        prev = cur;
+    }
+}
+
+TEST(HistogramPercentile, BucketEdgeSemantics)
+{
+    // 10 samples spread one per bucket: p=0.5 needs 5 samples, which
+    // the scan reaches at the end of the 5th bucket (upper edge 5.0).
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.1), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(HistogramPercentile, InvalidConstructionThrows)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);   // empty range
+    EXPECT_THROW(Histogram(5.0, 1.0, 4), FatalError);   // inverted
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);   // no buckets
+}
+
+TEST(HistogramPercentile, ResetClearsEverything)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(5.0);
+    h.add(100.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Accumulator::merge serial-equivalence property
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/// Reference: accumulate all samples serially in order.
+Accumulator
+serialAccumulate(const std::vector<double> &xs)
+{
+    Accumulator a;
+    for (double x : xs)
+        a.add(x);
+    return a;
+}
+
+/// Split xs at the given cut points, accumulate each shard
+/// independently, then merge the shards left-to-right.
+Accumulator
+shardedAccumulate(const std::vector<double> &xs,
+                  const std::vector<std::size_t> &cuts)
+{
+    std::vector<Accumulator> shards;
+    std::size_t begin = 0;
+    for (std::size_t cut : cuts) {
+        Accumulator a;
+        for (std::size_t i = begin; i < cut; ++i)
+            a.add(xs[i]);
+        shards.push_back(a);
+        begin = cut;
+    }
+    Accumulator tail;
+    for (std::size_t i = begin; i < xs.size(); ++i)
+        tail.add(xs[i]);
+    shards.push_back(tail);
+
+    Accumulator merged;
+    for (const Accumulator &s : shards)
+        merged.merge(s);
+    return merged;
+}
+
+void
+expectEquivalent(const Accumulator &serial, const Accumulator &merged)
+{
+    // Count, min, and max are exact regardless of grouping.
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+    EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+    // Sum/mean/variance differ only by floating-point regrouping.
+    double scale = std::max(1.0, std::fabs(serial.sum()));
+    EXPECT_NEAR(merged.sum(), serial.sum(), 1e-9 * scale);
+    EXPECT_NEAR(merged.mean(), serial.mean(),
+                1e-9 * std::max(1.0, std::fabs(serial.mean())));
+    EXPECT_NEAR(merged.variance(), serial.variance(),
+                1e-7 * std::max(1.0, serial.variance()));
+}
+
+} // namespace
+
+TEST(AccumulatorMerge, RandomShardSplitsMatchSerial)
+{
+    Rng rng(0xC0FFEE);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::size_t n = 1 + rng.below(400);
+        std::vector<double> xs;
+        xs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            xs.push_back(rng.uniform(-1e3, 1e3));
+
+        // Random number of random cut points (possibly duplicated or
+        // at the ends, producing empty shards).
+        std::size_t ncuts = rng.below(8);
+        std::vector<std::size_t> cuts;
+        for (std::size_t i = 0; i < ncuts; ++i)
+            cuts.push_back(rng.below(n + 1));
+        std::sort(cuts.begin(), cuts.end());
+
+        expectEquivalent(serialAccumulate(xs),
+                         shardedAccumulate(xs, cuts));
+    }
+}
+
+TEST(AccumulatorMerge, NearConstantValuesStayStable)
+{
+    // The Welford/Chan path must not go catastrophically wrong on
+    // near-identical samples (the motivating case in stats.hh).
+    Rng rng(42);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(1e9 + rng.uniform(0.0, 1e-3));
+    Accumulator serial = serialAccumulate(xs);
+    Accumulator merged = shardedAccumulate(xs, {250, 500, 750});
+    EXPECT_GE(serial.variance(), 0.0);
+    EXPECT_GE(merged.variance(), 0.0);
+    expectEquivalent(serial, merged);
+}
+
+TEST(AccumulatorMerge, EmptySidesAreIdentityElements)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    Accumulator serial = serialAccumulate(xs);
+
+    Accumulator empty_into_full = serialAccumulate(xs);
+    empty_into_full.merge(Accumulator());
+    expectEquivalent(serial, empty_into_full);
+
+    Accumulator full_into_empty;
+    full_into_empty.merge(serial);
+    expectEquivalent(serial, full_into_empty);
+
+    Accumulator both;
+    both.merge(Accumulator());
+    EXPECT_EQ(both.count(), 0u);
+    EXPECT_DOUBLE_EQ(both.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(both.variance(), 0.0);
+}
+
+TEST(AccumulatorMerge, SingleSampleShards)
+{
+    // Degenerate split: every shard holds exactly one sample.
+    std::vector<double> xs = {4.0, -2.0, 7.5, 0.25, 11.0};
+    std::vector<std::size_t> cuts = {1, 2, 3, 4};
+    expectEquivalent(serialAccumulate(xs),
+                     shardedAccumulate(xs, cuts));
+}
+
+TEST(AccumulatorMerge, MergeOrderInvariance)
+{
+    Rng rng(99);
+    std::vector<double> xs;
+    for (int i = 0; i < 300; ++i)
+        xs.push_back(rng.uniform(-50.0, 50.0));
+
+    Accumulator a = serialAccumulate({xs.begin(), xs.begin() + 100});
+    Accumulator b =
+        serialAccumulate({xs.begin() + 100, xs.begin() + 200});
+    Accumulator c = serialAccumulate({xs.begin() + 200, xs.end()});
+
+    Accumulator ab = a;
+    ab.merge(b);
+    ab.merge(c);
+    Accumulator cb = c;
+    cb.merge(b);
+    cb.merge(a);
+    EXPECT_EQ(ab.count(), cb.count());
+    EXPECT_DOUBLE_EQ(ab.min(), cb.min());
+    EXPECT_DOUBLE_EQ(ab.max(), cb.max());
+    EXPECT_NEAR(ab.mean(), cb.mean(),
+                1e-9 * std::max(1.0, std::fabs(ab.mean())));
+    EXPECT_NEAR(ab.variance(), cb.variance(),
+                1e-7 * std::max(1.0, ab.variance()));
+}

@@ -17,6 +17,7 @@
 #include "common/rng.hh"
 #include "harness/differential.hh"
 #include "harness/sweep.hh"
+#include "obs/trace_writer.hh"
 #include "workload/mixes.hh"
 
 using namespace memscale;
@@ -158,6 +159,37 @@ TEST(SweepEngine, PoolStateDoesNotLeakAcrossSweepTasks)
     for (std::size_t i = 0; i < digests.size(); ++i)
         EXPECT_EQ(digests[i], i % 2 == 0 ? serialA : serialB)
             << "task " << i;
+}
+
+TEST(SweepEngine, ObservabilityExportsAreJobCountInvariant)
+{
+    // With observability on, the recorded epoch buffers — and every
+    // byte of the exported CSV / Chrome-trace text — must be identical
+    // whether the sweep ran serially or on eight workers.  Each run
+    // owns its registry + recorder, and floats are printed with
+    // round-trip precision, so any divergence here is a real
+    // scheduling leak.
+    auto sweep = [](unsigned jobs) {
+        SweepEngine eng(jobs);
+        std::vector<SweepCase> cases;
+        for (const char *mix : {"MID1", "MEM2"}) {
+            SystemConfig cfg = tinyConfig(mix);
+            cfg.observe = true;
+            cases.push_back(SweepCase{cfg, "memscale"});
+        }
+        std::vector<std::string> out;
+        for (const ComparisonResult &r : compareCases(eng, cases)) {
+            EXPECT_TRUE(r.policy.obs);
+            out.push_back(r.policy.obs->toCsv());
+            out.push_back(chromeTraceJson(*r.policy.obs));
+        }
+        return out;
+    };
+    std::vector<std::string> serial = sweep(1);
+    std::vector<std::string> parallel = sweep(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "export " << i;
 }
 
 TEST(SweepEngine, Oversubscription)
