@@ -55,6 +55,18 @@ benchConfig(int argc, char **argv, Config *out_conf = nullptr)
     // recording path never changes simulation results.
     cfg.observe = conf.has("trace-out") || conf.has("stats-out") ||
                   conf.getBool("observe", false);
+    // Checkpoint/restore (src/snapshot): `--checkpoint-every ms` /
+    // `--checkpoint-at ms` write snapshots to `--checkpoint-out path`
+    // (suffixed `.<tick>` for periodic ones); `--checkpoint-stop`
+    // ends the run right after the `at` snapshot, and `--resume path`
+    // continues a run from a snapshot file.  Writers are pure readers
+    // of simulation state, so results are unchanged by checkpointing.
+    cfg.snapshot.every =
+        msToTick(conf.getDouble("checkpoint-every", 0.0));
+    cfg.snapshot.at = msToTick(conf.getDouble("checkpoint-at", 0.0));
+    cfg.snapshot.stopAfter = conf.getBool("checkpoint-stop", false);
+    cfg.snapshot.out = conf.getString("checkpoint-out", "");
+    cfg.snapshot.resumePath = conf.getString("resume", "");
     if (out_conf)
         *out_conf = conf;
     return cfg;

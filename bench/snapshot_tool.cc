@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Checkpoint/restore command-line tool.
+ *
+ * Runs one mix under one policy with the standard checkpoint flags
+ * and prints a machine-readable summary:
+ *
+ *     runtime <ticks>
+ *     result_hash 0x<16 hex digits>
+ *     checkpoint <path>          (one line per snapshot written)
+ *
+ * Modes:
+ *   - plain run:     snapshot_tool mix=MID3 policy=memscale
+ *   - cut + stop:    snapshot_tool checkpoint-at=0.4 \
+ *                        checkpoint-out=/tmp/cut checkpoint-stop=1
+ *   - resume:        snapshot_tool resume=/tmp/cut
+ *   - inspect:       snapshot_tool meta=/tmp/cut
+ *
+ * The run uses a fixed rest-of-system wattage (rest=… , default 150 W)
+ * instead of baseline calibration so a single invocation is one
+ * deterministic simulation — which is what scripts/golden_bisect.py
+ * needs to binary-search the first tick where two builds diverge.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace memscale;
+
+int
+main(int argc, char **argv)
+{
+    Config conf;
+    SystemConfig cfg = benchConfig(argc, argv, &conf);
+    cfg.mixName = conf.getString("mix", "MID3");
+    const std::string policy = conf.getString("policy", "memscale");
+    const double rest = conf.getDouble("rest", 150.0);
+
+    const std::string meta_path = conf.getString("meta", "");
+    if (!meta_path.empty()) {
+        SnapshotMeta m = readSnapshotMeta(meta_path);
+        std::printf("mix %s\npolicy %s\nnow %" PRIu64 "\n",
+                    m.mixName.c_str(), m.policyName.c_str(), m.now);
+        std::printf("done_cores %u\npending_events %u\n", m.doneCores,
+                    m.pendingEvents);
+        std::printf("in_flight_requests %" PRIu64 "\n",
+                    m.inFlightRequests);
+        std::printf("ranks_powered_down %u\npending_relocks %u\n"
+                    "pending_refreshes %u\n",
+                    m.ranksPoweredDown, m.pendingRelocks,
+                    m.pendingRefreshes);
+        return 0;
+    }
+
+    RunResult r = runPolicy(cfg, policy, rest);
+    std::printf("mix %s\npolicy %s\n", r.mixName.c_str(),
+                r.policyName.c_str());
+    std::printf("runtime %" PRIu64 "\n", r.runtime);
+    std::printf("result_hash 0x%016" PRIx64 "\n", hashRunResult(r));
+    for (const std::string &path : r.checkpointsWritten)
+        std::printf("checkpoint %s\n", path.c_str());
+    if (r.stoppedAtCheckpoint)
+        std::printf("stopped_at_checkpoint 1\n");
+    return 0;
+}

@@ -11,6 +11,7 @@
 #define MEMSCALE_COMMON_RNG_HH
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 
 namespace memscale
@@ -152,6 +153,25 @@ class Rng
     {
         return Rng(next() ^ 0xa5a5a5a5deadbeefull);
     }
+
+    /** @name Raw state access for checkpoint/restore. */
+    /// @{
+    static constexpr std::size_t StateWords = 4;
+
+    void
+    getState(std::uint64_t out[StateWords]) const
+    {
+        for (std::size_t i = 0; i < StateWords; ++i)
+            out[i] = state_[i];
+    }
+
+    void
+    setState(const std::uint64_t in[StateWords])
+    {
+        for (std::size_t i = 0; i < StateWords; ++i)
+            state_[i] = in[i];
+    }
+    /// @}
 
   private:
     static std::uint64_t

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "sim/event_kinds.hh"
 
 namespace memscale
 {
@@ -52,7 +53,8 @@ Core::beginChunk()
     if (chunkLen_ == 0) {
         issueMiss();
     } else {
-        eq_.scheduleIn(chunkLen_, [this] { issueMiss(); });
+        eq_.scheduleIn(chunkLen_, [this] { issueMiss(); },
+                       EventClass::Hardware, {EvCoreIssueMiss, id_});
     }
 }
 
@@ -100,6 +102,59 @@ Core::tic(Tick now) const
                   static_cast<double>(chunkLen_);
     return retired_ + static_cast<std::uint64_t>(
         frac * static_cast<double>(chunk_.instructions));
+}
+
+void
+Core::saveState(SectionWriter &w) const
+{
+    w.f64(ghz_);
+    w.u64(chunk_.instructions);
+    w.f64(chunk_.cpi);
+    w.u64(chunk_.missAddr);
+    w.b(chunk_.hasWriteback);
+    w.u64(chunk_.writebackAddr);
+    w.b(computing_);
+    w.b(halted_);
+    w.u64(chunkStart_);
+    w.u64(chunkLen_);
+    w.u64(retired_);
+    w.u64(tlm_);
+    w.u64(stallTime_);
+    w.u64(stallStart_);
+    w.u64(startedAt_);
+    w.u64(doneAt_);
+}
+
+void
+Core::restoreState(SectionReader &r)
+{
+    // Recomputes cpuPeriod_ from the clock, exactly as the live run
+    // did; nominalPeriod_ is a constructor constant.
+    setFrequencyGHz(r.f64());
+    chunk_.instructions = r.u64();
+    chunk_.cpi = r.f64();
+    chunk_.missAddr = r.u64();
+    chunk_.hasWriteback = r.b();
+    chunk_.writebackAddr = r.u64();
+    computing_ = r.b();
+    halted_ = r.b();
+    chunkStart_ = r.u64();
+    chunkLen_ = r.u64();
+    retired_ = r.u64();
+    tlm_ = r.u64();
+    stallTime_ = r.u64();
+    stallStart_ = r.u64();
+    startedAt_ = r.u64();
+    doneAt_ = r.u64();
+}
+
+EventCallback
+Core::rebuildEvent(std::uint32_t kind)
+{
+    if (kind != EvCoreIssueMiss)
+        panic("Core %u: cannot rebuild event kind %s", id_,
+              eventKindName(kind));
+    return [this] { issueMiss(); };
 }
 
 double

@@ -22,6 +22,7 @@
 #include "mem/client.hh"
 #include "mem/controller.hh"
 #include "sim/event_queue.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -82,6 +83,15 @@ class Core final : public MemClient
 
     /** Callback fired when the instruction budget is reached. */
     void setOnDone(std::function<void()> fn) { onDone_ = std::move(fn); }
+
+    /** @name Checkpoint/restore */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+
+    /** Reconstruct the closure of a tagged pending event (restore). */
+    EventCallback rebuildEvent(std::uint32_t kind);
+    /// @}
 
   private:
     void beginChunk();

@@ -1,3 +1,30 @@
 // Bank is header-only state; this translation unit anchors the class
-// for the ms_dram library and hosts nothing else on purpose.
+// for the ms_dram library and hosts its checkpoint round-trip.
 #include "dram/bank.hh"
+
+#include "snapshot/serializer.hh"
+
+namespace memscale
+{
+
+void
+Bank::saveState(SectionWriter &w) const
+{
+    w.u8(static_cast<std::uint8_t>(rowState_));
+    w.u64(openRow_);
+    w.u64(readyAt_);
+    w.u64(lastActAt_);
+    w.b(inService_);
+}
+
+void
+Bank::restoreState(SectionReader &r)
+{
+    rowState_ = static_cast<RowState>(r.u8());
+    openRow_ = r.u64();
+    readyAt_ = r.u64();
+    lastActAt_ = r.u64();
+    inService_ = r.b();
+}
+
+} // namespace memscale

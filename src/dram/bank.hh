@@ -17,6 +17,9 @@
 namespace memscale
 {
 
+class SectionReader;
+class SectionWriter;
+
 class Bank
 {
   public:
@@ -75,6 +78,12 @@ class Bank
         lastActAt_ = 0;
         inService_ = false;
     }
+
+    /** @name Checkpoint/restore */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+    /// @}
 
   private:
     RowState rowState_ = RowState::Closed;

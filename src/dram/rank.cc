@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "obs/stat_registry.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -74,6 +75,76 @@ RankActivity::actPowerdownFraction() const
         return 0.0;
     return static_cast<double>(actPowerdownTime) /
            static_cast<double>(totalTime);
+}
+
+void
+RankActivity::saveState(SectionWriter &w) const
+{
+    w.u64(preStandbyTime);
+    w.u64(prePowerdownTime);
+    w.u64(slowPowerdownTime);
+    w.u64(selfRefreshTime);
+    w.u64(actStandbyTime);
+    w.u64(actPowerdownTime);
+    w.u64(totalTime);
+    w.u64(actPreCount);
+    w.u64(readBursts);
+    w.u64(writeBursts);
+    w.u64(readBurstTime);
+    w.u64(writeBurstTime);
+    w.u64(refreshes);
+    w.u64(pdExits);
+}
+
+void
+RankActivity::restoreState(SectionReader &r)
+{
+    preStandbyTime = r.u64();
+    prePowerdownTime = r.u64();
+    slowPowerdownTime = r.u64();
+    selfRefreshTime = r.u64();
+    actStandbyTime = r.u64();
+    actPowerdownTime = r.u64();
+    totalTime = r.u64();
+    actPreCount = r.u64();
+    readBursts = r.u64();
+    writeBursts = r.u64();
+    readBurstTime = r.u64();
+    writeBurstTime = r.u64();
+    refreshes = r.u64();
+    pdExits = r.u64();
+}
+
+void
+Rank::saveState(SectionWriter &w) const
+{
+    activity_.saveState(w);
+    w.u64(lastUpdate_);
+    w.u32(openBanks_);
+    w.b(ckeLow_);
+    w.b(slowExit_);
+    w.b(selfRefresh_);
+    w.u32(numRecentActs_);
+    for (std::uint32_t i = 0; i < numRecentActs_; ++i)
+        w.u64(recentActs_[i]);
+}
+
+void
+Rank::restoreState(SectionReader &r)
+{
+    activity_.restoreState(r);
+    lastUpdate_ = r.u64();
+    openBanks_ = r.u32();
+    ckeLow_ = r.b();
+    slowExit_ = r.b();
+    selfRefresh_ = r.b();
+    numRecentActs_ = r.u32();
+    if (numRecentActs_ > recentActs_.size())
+        fatal("Rank restore: %u recent ACTs exceeds window of %zu",
+              numRecentActs_, recentActs_.size());
+    recentActs_ = {};
+    for (std::uint32_t i = 0; i < numRecentActs_; ++i)
+        recentActs_[i] = r.u64();
 }
 
 void

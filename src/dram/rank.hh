@@ -24,6 +24,8 @@
 namespace memscale
 {
 
+class SectionReader;
+class SectionWriter;
 class StatRegistry;
 
 /**
@@ -55,6 +57,12 @@ struct RankActivity
 
     RankActivity operator-(const RankActivity &o) const;
     RankActivity &operator+=(const RankActivity &o);
+
+    /** @name Checkpoint/restore */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+    /// @}
 
     /** Fraction of the window with all banks precharged (counter PTC). */
     double preFraction() const;
@@ -117,6 +125,15 @@ class Rank
 
     /** Reset all state (used between experiment runs). */
     void reset();
+
+    /**
+     * @name Checkpoint/restore.  Raw state transfer: never sync()s,
+     * so the time integration resumes exactly where it left off.
+     */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+    /// @}
 
   private:
     void sync(Tick now);

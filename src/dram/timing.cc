@@ -1,6 +1,7 @@
 #include "dram/timing.hh"
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -87,6 +88,56 @@ TimingParams
 TimingParams::forBusMHz(std::uint32_t mhz)
 {
     return build(mhz);
+}
+
+void
+TimingParams::saveState(SectionWriter &w) const
+{
+    w.u32(busMHz);
+    w.u64(tCK);
+    w.u64(tCKMC);
+    w.u64(tBURST);
+    w.u64(tMC);
+    w.u64(tRCD);
+    w.u64(tRP);
+    w.u64(tCL);
+    w.u64(tRAS);
+    w.u64(tRTP);
+    w.u64(tRRD);
+    w.u64(tFAW);
+    w.u64(tWR);
+    w.u64(tWTR);
+    w.u64(tXP);
+    w.u64(tXPDLL);
+    w.u64(tRFC);
+    w.u64(tXS);
+    w.u64(tREFI);
+    w.u64(tRELOCK);
+}
+
+void
+TimingParams::restoreState(SectionReader &r)
+{
+    busMHz = r.u32();
+    tCK = r.u64();
+    tCKMC = r.u64();
+    tBURST = r.u64();
+    tMC = r.u64();
+    tRCD = r.u64();
+    tRP = r.u64();
+    tCL = r.u64();
+    tRAS = r.u64();
+    tRTP = r.u64();
+    tRRD = r.u64();
+    tFAW = r.u64();
+    tWR = r.u64();
+    tWTR = r.u64();
+    tXP = r.u64();
+    tXPDLL = r.u64();
+    tRFC = r.u64();
+    tXS = r.u64();
+    tREFI = r.u64();
+    tRELOCK = r.u64();
 }
 
 FreqIndex

@@ -21,6 +21,9 @@
 namespace memscale
 {
 
+class SectionReader;
+class SectionWriter;
+
 /**
  * The ten bus frequencies evaluated in the paper, fastest first.
  * The MC runs at exactly double the bus frequency; DIMM clocks lock
@@ -86,6 +89,12 @@ struct TimingParams
 
     /** Parameters for an arbitrary bus frequency (off-grid allowed). */
     static TimingParams forBusMHz(std::uint32_t mhz);
+
+    /** @name Checkpoint/restore (field-wise, bit-exact). */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+    /// @}
 };
 
 /** Closest grid index whose frequency is <= mhz (or slowest). */

@@ -49,6 +49,43 @@ runPolicy(const SystemConfig &cfg, const std::string &policy,
     return sys.run();
 }
 
+RunResult
+runPolicySharded(const SystemConfig &cfg, const std::string &policy,
+                 Watts rest_watts, const std::vector<Tick> &cuts,
+                 const std::string &scratch_prefix)
+{
+    for (std::size_t i = 1; i < cuts.size(); ++i) {
+        if (cuts[i] <= cuts[i - 1])
+            fatal("runPolicySharded: cuts must be strictly "
+                  "ascending");
+    }
+    SystemConfig scfg = cfg;
+    scfg.restWatts = rest_watts;
+
+    std::string resume_from;
+    RunResult res;
+    for (std::size_t shard = 0; shard <= cuts.size(); ++shard) {
+        // A fresh policy per shard, exactly as separate processes
+        // would have: everything a shard needs must come from the
+        // snapshot, never from leftover in-memory policy state.
+        auto p = makePolicy(policy);
+        SystemConfig cur = scfg;
+        cur.snapshot.resumePath = resume_from;
+        if (shard < cuts.size()) {
+            cur.snapshot.at = cuts[shard];
+            cur.snapshot.stopAfter = true;
+            cur.snapshot.out = scratch_prefix + ".shard" +
+                               std::to_string(shard);
+        }
+        System sys(cur, *p);
+        res = sys.run();
+        if (!res.stoppedAtCheckpoint)
+            break;   // workload finished before the cut
+        resume_from = res.checkpointsWritten.back();
+    }
+    return res;
+}
+
 ComparisonResult
 compareWithBase(const SystemConfig &cfg, const RunResult &base,
                 Watts rest_watts, const std::string &policy)

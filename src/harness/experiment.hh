@@ -42,6 +42,20 @@ RunResult runBaseline(const SystemConfig &cfg, Watts &rest_out);
 RunResult runPolicy(const SystemConfig &cfg, const std::string &policy,
                     Watts rest_watts);
 
+/**
+ * Run one policy as a chain of time shards: the run is cut at each
+ * tick in `cuts` (ascending), a checkpoint is written to
+ * `scratch_prefix`.shard<N>, and the next shard resumes from it.  The
+ * final shard's RunResult is returned and is bit-identical to the
+ * uninterrupted runPolicy() — the resume-equivalence property the
+ * snapshot tests pin.  Shards whose workload finishes before their
+ * cut simply end the chain early.
+ */
+RunResult runPolicySharded(const SystemConfig &cfg,
+                           const std::string &policy, Watts rest_watts,
+                           const std::vector<Tick> &cuts,
+                           const std::string &scratch_prefix);
+
 /** Compare a policy against a precomputed calibrated baseline. */
 ComparisonResult compareWithBase(const SystemConfig &cfg,
                                  const RunResult &base,

@@ -6,12 +6,88 @@
 #include "common/log.hh"
 #include "cpu/core.hh"
 #include "mem/controller.hh"
+#include "sim/event_kinds.hh"
 #include "sim/event_queue.hh"
+#include "snapshot/serializer.hh"
 #include "workload/mixes.hh"
 #include "workload/trace_source.hh"
 
 namespace memscale
 {
+
+namespace
+{
+
+/**
+ * Check the snapshot's configuration fingerprint against the resuming
+ * run.  A snapshot only replays bit-identically into the exact system
+ * it was taken from, so any mismatch is fatal with a named field
+ * rather than a silently diverging simulation.
+ */
+void
+verifySnapshotMeta(SectionReader &m, const SystemConfig &cfg,
+                   const std::string &policy_name, bool has_checker,
+                   bool dynamic_policy)
+{
+    auto want_str = [&](const char *what, const std::string &want) {
+        const std::string got = m.str();
+        if (got != want)
+            fatal("resume: snapshot %s '%s' does not match run '%s'",
+                  what, got.c_str(), want.c_str());
+    };
+    auto want_u64 = [&](const char *what, std::uint64_t want) {
+        const std::uint64_t got = m.u64();
+        if (got != want)
+            fatal("resume: snapshot %s %llu does not match run %llu",
+                  what, static_cast<unsigned long long>(got),
+                  static_cast<unsigned long long>(want));
+    };
+    auto want_u32 = [&](const char *what, std::uint32_t want) {
+        const std::uint32_t got = m.u32();
+        if (got != want)
+            fatal("resume: snapshot %s %u does not match run %u",
+                  what, got, want);
+    };
+    auto want_f64 = [&](const char *what, double want) {
+        const double got = m.f64();
+        if (got != want)
+            fatal("resume: snapshot %s %.17g does not match run "
+                  "%.17g",
+                  what, got, want);
+    };
+    auto want_b = [&](const char *what, bool want) {
+        const bool got = m.b();
+        if (got != want)
+            fatal("resume: snapshot %s %d does not match run %d",
+                  what, got ? 1 : 0, want ? 1 : 0);
+    };
+
+    want_str("mix", cfg.mixName);
+    want_str("policy", policy_name);
+    want_u32("numCores", cfg.numCores);
+    want_f64("cpuGHz", cfg.cpuGHz);
+    want_u64("instrBudget", cfg.instrBudget);
+    want_u64("epochLen", cfg.epochLen);
+    want_u64("profileLen", cfg.profileLen);
+    want_f64("gamma", cfg.gamma);
+    want_u64("seed", cfg.seed);
+    want_f64("restWatts", cfg.restWatts);
+    want_u32("numChannels", cfg.mem.numChannels);
+    want_u32("ranksPerChannel", cfg.mem.ranksPerChannel());
+    want_u32("banksPerRank", cfg.mem.banksPerRank);
+    const std::uint8_t km = m.u8();
+    if (km != static_cast<std::uint8_t>(cfg.kernelMode))
+        fatal("resume: snapshot kernel mode %u does not match run %u",
+              km, static_cast<unsigned>(cfg.kernelMode));
+    want_b("observe", cfg.observe);
+    want_b("modelCpuPower", cfg.modelCpuPower);
+    want_b("protocolCheck", has_checker);
+    want_b("dynamicPolicy", dynamic_policy);
+    want_u32("customApps",
+             static_cast<std::uint32_t>(cfg.customApps.size()));
+}
+
+} // namespace
 
 PolicyContext
 SystemConfig::policyContext() const
@@ -55,6 +131,7 @@ System::System(const SystemConfig &cfg, Policy &policy)
 RunResult
 System::run()
 {
+    const bool resuming = !cfg_.snapshot.resumePath.empty();
     EventQueue eq(cfg_.kernelMode);
     MemoryController mc(eq, cfg_.mem);
     PolicyContext ctx = cfg_.policyContext();
@@ -132,7 +209,11 @@ System::run()
     mc.setBeforeFreqChangeHook(close_interval);
 
     policy_.configure(mc, ctx);
-    mc.startRefresh();
+    // On resume, the refresh engines' pending events come from the
+    // snapshot (clearPending() below drops anything configure()
+    // scheduled); starting them here would double-refresh.
+    if (!resuming)
+        mc.startRefresh();
 
     // Workload construction: numCores instances, four per application
     // in the mix (or the user's custom profiles), phase schedules
@@ -200,16 +281,273 @@ System::run()
         epochs->setBeforeCpuFreqChangeHook(close_interval);
         if (recorder)
             epochs->setRecorder(recorder.get());
-        epochs->start();
+        // A resumed run rebuilds the in-flight epoch event from the
+        // snapshot instead of arming a fresh first epoch.
+        if (!resuming)
+            epochs->start();
     }
 
-    for (auto &c : cores)
-        c->start();
+    if (!resuming) {
+        for (auto &c : cores)
+            c->start();
+    }
+
+    if (resuming) {
+        SnapshotReader snap(cfg_.snapshot.resumePath);
+        SectionReader meta = snap.section("meta");
+        verifySnapshotMeta(meta, cfg_, policy_.name(),
+                           checker != nullptr, policy_.dynamic());
+
+        // Drop everything the fresh construction scheduled (refresh
+        // arming, relocks from configure()) and jump the clock; the
+        // snapshot's own event list replaces it wholesale.
+        eq.clearPending();
+        SectionReader sim = snap.section("sim");
+        eq.setNow(sim.u64());
+
+        SectionReader mcs = snap.section("mc");
+        std::vector<MemClient *> clients(core_ptrs.begin(),
+                                         core_ptrs.end());
+        mc.restoreState(mcs, clients);
+
+        SectionReader crs = snap.section("cores");
+        const std::uint32_t ncores = crs.u32();
+        if (ncores != cfg_.numCores)
+            fatal("resume: snapshot has %u cores, run has %u", ncores,
+                  cfg_.numCores);
+        for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+            sources[i]->restoreState(crs);
+            cores[i]->restoreState(crs);
+        }
+
+        SectionReader pw = snap.section("power");
+        integrator.restoreState(pw);
+        last.dt = pw.u64();
+        last.busMHz = pw.u32();
+        last.deviceBusMHz = pw.u32();
+        last.ranksPerChannel = pw.u32();
+        last.numDimms = pw.u32();
+        last.ranks.assign(pw.u32(), RankActivity{});
+        for (RankActivity &ra : last.ranks)
+            ra.restoreState(pw);
+        last.channelBurst.assign(pw.u32(), 0);
+        for (Tick &t : last.channelBurst)
+            t = pw.u64();
+        last.channelMHz.assign(pw.u32(), 0);
+        for (std::uint32_t &mhz : last.channelMHz)
+            mhz = pw.u32();
+        last_sample = pw.u64();
+        const std::uint32_t nstall = pw.u32();
+        for (std::uint32_t i = 0; i < nstall; ++i) {
+            const Tick s = pw.u64();
+            if (i < last_stall.size())
+                last_stall[i] = s;
+        }
+
+        if (epochs) {
+            SectionReader es = snap.section("epoch");
+            epochs->restoreState(es);
+        }
+        if (recorder) {
+            SectionReader rs = snap.section("recorder");
+            recorder->restoreState(rs);
+        }
+        SectionReader ps = snap.section("policy");
+        policy_.restoreState(ps);
+        if (checker) {
+            SectionReader chs = snap.section("checker");
+            checker->restoreState(chs);
+        }
+
+        done = 0;
+        for (Core *c : core_ptrs) {
+            if (c->done())
+                ++done;
+        }
+
+        // Re-schedule the saved pending events in their original
+        // execution order; fresh insertion sequences then preserve
+        // every same-tick tie-break.
+        const std::uint32_t npend = sim.u32();
+        for (std::uint32_t i = 0; i < npend; ++i) {
+            const Tick when = sim.u64();
+            const auto cls = static_cast<EventClass>(sim.u8());
+            EventTag tag;
+            tag.kind = sim.u32();
+            tag.owner = sim.u32();
+            tag.a = sim.u64();
+            tag.b = sim.u64();
+            EventCallback cb;
+            switch (tag.kind) {
+              case EvCoreIssueMiss:
+                if (tag.owner >= core_ptrs.size())
+                    fatal("resume: core event owner %u out of range",
+                          tag.owner);
+                cb = core_ptrs[tag.owner]->rebuildEvent(tag.kind);
+                break;
+              case EvChanBankClosed:
+              case EvChanActOpen:
+              case EvChanBurstDone:
+              case EvChanPreDone:
+              case EvChanRelockEnter:
+              case EvChanRelockExit:
+              case EvChanRefreshTick:
+              case EvChanRefreshDone:
+                cb = mc.rebuildChannelEvent(tag.owner, tag.kind,
+                                            tag.a, tag.b);
+                break;
+              case EvEpochEndProfile:
+              case EvEpochEndEpoch:
+                if (!epochs)
+                    fatal("resume: snapshot carries an epoch event "
+                          "but the policy is static");
+                cb = epochs->rebuildEvent(tag.kind);
+                break;
+              default:
+                fatal("resume: unknown event kind %u (%s)", tag.kind,
+                      eventKindName(tag.kind));
+            }
+            eq.schedule(when, std::move(cb), cls, tag);
+        }
+    }
+
+    // Checkpoint writers: EvEphemeral Sample-class events, pure
+    // readers of simulation state.  They shift later insertion
+    // sequences uniformly, preserving every relative (tick, class,
+    // seq) comparison — runs with and without them are bit-identical.
+    bool stopped_at_checkpoint = false;
+    std::vector<std::string> checkpoints_written;
+    auto write_checkpoint = [&](const std::string &path) {
+        const std::vector<PendingEvent> pend = eq.exportPending();
+        std::uint32_t relocks = 0;
+        std::uint32_t refreshes = 0;
+        for (const PendingEvent &pe : pend) {
+            if (pe.tag.kind == EvChanRelockEnter ||
+                pe.tag.kind == EvChanRelockExit)
+                ++relocks;
+            if (pe.tag.kind == EvChanRefreshDone)
+                ++refreshes;
+        }
+
+        SnapshotWriter sw;
+        SectionWriter &m = sw.section("meta");
+        m.str(cfg_.mixName);
+        m.str(policy_.name());
+        m.u32(cfg_.numCores);
+        m.f64(cfg_.cpuGHz);
+        m.u64(cfg_.instrBudget);
+        m.u64(cfg_.epochLen);
+        m.u64(cfg_.profileLen);
+        m.f64(cfg_.gamma);
+        m.u64(cfg_.seed);
+        m.f64(cfg_.restWatts);
+        m.u32(cfg_.mem.numChannels);
+        m.u32(cfg_.mem.ranksPerChannel());
+        m.u32(cfg_.mem.banksPerRank);
+        m.u8(static_cast<std::uint8_t>(cfg_.kernelMode));
+        m.b(cfg_.observe);
+        m.b(cfg_.modelCpuPower);
+        m.b(checker != nullptr);
+        m.b(policy_.dynamic());
+        m.u32(static_cast<std::uint32_t>(cfg_.customApps.size()));
+        // Summary block (SnapshotMeta): what the checkpoint caught
+        // mid-flight, for diagnostics and test probes.
+        m.u64(eq.now());
+        m.u32(done);
+        m.u32(static_cast<std::uint32_t>(pend.size()));
+        m.u64(mc.requestPool().inUse());
+        m.u32(mc.ranksPoweredDown());
+        m.u32(relocks);
+        m.u32(refreshes);
+
+        SectionWriter &sim = sw.section("sim");
+        sim.u64(eq.now());
+        sim.u32(static_cast<std::uint32_t>(pend.size()));
+        for (const PendingEvent &pe : pend) {
+            sim.u64(pe.when);
+            sim.u8(static_cast<std::uint8_t>(pe.cls));
+            sim.u32(pe.tag.kind);
+            sim.u32(pe.tag.owner);
+            sim.u64(pe.tag.a);
+            sim.u64(pe.tag.b);
+        }
+
+        mc.saveState(sw.section("mc"));
+
+        SectionWriter &crs = sw.section("cores");
+        crs.u32(cfg_.numCores);
+        for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+            sources[i]->saveState(crs);
+            cores[i]->saveState(crs);
+        }
+
+        SectionWriter &pw = sw.section("power");
+        integrator.saveState(pw);
+        pw.u64(last.dt);
+        pw.u32(last.busMHz);
+        pw.u32(last.deviceBusMHz);
+        pw.u32(last.ranksPerChannel);
+        pw.u32(last.numDimms);
+        pw.u32(static_cast<std::uint32_t>(last.ranks.size()));
+        for (const RankActivity &ra : last.ranks)
+            ra.saveState(pw);
+        pw.u32(static_cast<std::uint32_t>(last.channelBurst.size()));
+        for (Tick t : last.channelBurst)
+            pw.u64(t);
+        pw.u32(static_cast<std::uint32_t>(last.channelMHz.size()));
+        for (std::uint32_t mhz : last.channelMHz)
+            pw.u32(mhz);
+        pw.u64(last_sample);
+        pw.u32(static_cast<std::uint32_t>(last_stall.size()));
+        for (Tick s : last_stall)
+            pw.u64(s);
+
+        if (epochs)
+            epochs->saveState(sw.section("epoch"));
+        if (recorder)
+            recorder->saveState(sw.section("recorder"));
+        policy_.saveState(sw.section("policy"));
+        if (checker)
+            checker->saveState(sw.section("checker"));
+
+        sw.writeFile(path);
+        checkpoints_written.push_back(path);
+    };
+
+    if ((cfg_.snapshot.every > 0 || cfg_.snapshot.at > 0) &&
+        cfg_.snapshot.out.empty())
+        fatal("snapshot: checkpointing requested without an output "
+              "path");
+    std::function<void()> periodic;
+    if (cfg_.snapshot.every > 0) {
+        periodic = [&] {
+            write_checkpoint(cfg_.snapshot.out + "." +
+                             std::to_string(eq.now()));
+            eq.scheduleIn(cfg_.snapshot.every, [&] { periodic(); },
+                          EventClass::Sample, {EvEphemeral});
+        };
+        eq.scheduleIn(cfg_.snapshot.every, [&] { periodic(); },
+                      EventClass::Sample, {EvEphemeral});
+    }
+    if (cfg_.snapshot.at > 0 && cfg_.snapshot.at > eq.now()) {
+        eq.schedule(cfg_.snapshot.at,
+                    [&] {
+                        write_checkpoint(cfg_.snapshot.out);
+                        if (cfg_.snapshot.stopAfter) {
+                            stopped_at_checkpoint = true;
+                            eq.stop();
+                        }
+                    },
+                    EventClass::Sample, {EvEphemeral});
+    }
 
     eq.runUntil(cfg_.maxSimTime);
 
     RunResult res;
-    res.hitTimeLimit = done < cfg_.numCores;
+    res.stoppedAtCheckpoint = stopped_at_checkpoint;
+    res.checkpointsWritten = std::move(checkpoints_written);
+    res.hitTimeLimit =
+        done < cfg_.numCores && !stopped_at_checkpoint;
     if (res.hitTimeLimit) {
         warn("run %s/%s hit the simulated-time limit (%0.1f ms)",
              cfg_.mixName.c_str(), policy_.name().c_str(),
@@ -261,6 +599,41 @@ System::run()
         mc.setCommandObserver(nullptr);
     }
     return res;
+}
+
+SnapshotMeta
+readSnapshotMeta(const std::string &path)
+{
+    SnapshotReader snap(path);
+    SectionReader m = snap.section("meta");
+    SnapshotMeta out;
+    out.mixName = m.str();
+    out.policyName = m.str();
+    m.u32();  // numCores
+    m.f64();  // cpuGHz
+    m.u64();  // instrBudget
+    m.u64();  // epochLen
+    m.u64();  // profileLen
+    m.f64();  // gamma
+    m.u64();  // seed
+    m.f64();  // restWatts
+    m.u32();  // numChannels
+    m.u32();  // ranksPerChannel
+    m.u32();  // banksPerRank
+    m.u8();   // kernelMode
+    m.b();    // observe
+    m.b();    // modelCpuPower
+    m.b();    // protocolCheck
+    m.b();    // dynamicPolicy
+    m.u32();  // customApps
+    out.now = m.u64();
+    out.doneCores = m.u32();
+    out.pendingEvents = m.u32();
+    out.inFlightRequests = m.u64();
+    out.ranksPoweredDown = m.u32();
+    out.pendingRelocks = m.u32();
+    out.pendingRefreshes = m.u32();
+    return out;
 }
 
 } // namespace memscale

@@ -97,6 +97,27 @@ struct SystemConfig
      */
     bool observe = false;
 
+    /**
+     * Checkpoint/restore (src/snapshot).  Snapshot writers are
+     * EvEphemeral Sample-class events and pure readers of simulation
+     * state, so a run that writes checkpoints remains bit-identical
+     * to one that doesn't — the golden hashes pin this.
+     */
+    struct SnapshotOptions
+    {
+        /** Write `out`.<tick> every this many ticks (0 disables). */
+        Tick every = 0;
+        /** Write `out` once at this absolute tick (0 disables). */
+        Tick at = 0;
+        /** Stop the run right after the `at` snapshot (sharding). */
+        bool stopAfter = false;
+        /** Output path: exact for `at`, prefix for `every`. */
+        std::string out;
+        /** Resume from this snapshot instead of starting at tick 0. */
+        std::string resumePath;
+    };
+    SnapshotOptions snapshot;
+
     PolicyContext policyContext() const;
 };
 
@@ -132,9 +153,38 @@ struct RunResult
      */
     std::shared_ptr<const EpochRecorder> obs;
 
+    /// @name Checkpoint bookkeeping (excluded from result hashing —
+    /// a sharded chain's final result must equal the unsharded run's).
+    /// @{
+    bool stoppedAtCheckpoint = false;
+    std::vector<std::string> checkpointsWritten;
+    /// @}
+
     double avgCpi() const;
     double worstCpi() const;
 };
+
+/**
+ * Summary block of a snapshot's "meta" section, exposed so tests and
+ * tools can probe what a checkpoint caught mid-flight (in-flight
+ * requests, powered-down ranks, pending relock/refresh events)
+ * without restoring it.
+ */
+struct SnapshotMeta
+{
+    std::string mixName;
+    std::string policyName;
+    Tick now = 0;
+    std::uint32_t doneCores = 0;
+    std::uint32_t pendingEvents = 0;
+    std::uint64_t inFlightRequests = 0;
+    std::uint32_t ranksPoweredDown = 0;
+    std::uint32_t pendingRelocks = 0;
+    std::uint32_t pendingRefreshes = 0;
+};
+
+/** Parse a snapshot file's meta block (fatal on unreadable files). */
+SnapshotMeta readSnapshotMeta(const std::string &path);
 
 class System
 {

@@ -5,6 +5,8 @@
 #include "common/log.hh"
 #include "mem/client.hh"
 #include "obs/stat_registry.hh"
+#include "sim/event_kinds.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -275,24 +277,85 @@ Channel::tryService(std::uint32_t r, std::uint32_t b)
     if (req->outcome == RowOutcome::OpenMiss &&
         open_miss_pre_done != act_at) {
         eq_.schedule(open_miss_pre_done,
-                     [this, r] { ranks_[r].bankClosed(eq_.now()); });
+                     [this, r] { evBankClosed(r); },
+                     EventClass::Hardware,
+                     {EvChanBankClosed, id_, r});
     }
     if (did_act) {
         bool also_close = req->outcome == RowOutcome::OpenMiss &&
                           open_miss_pre_done == act_at;
-        eq_.schedule(act_at, [this, r, also_close] {
-            if (also_close)
-                ranks_[r].bankClosed(eq_.now());
-            ranks_[r].bankOpened(eq_.now());
-            ranks_[r].noteActPre();
-            counters_.pocc += 1;
-        });
+        eq_.schedule(act_at,
+                     [this, r, also_close] { evActOpen(r, also_close); },
+                     EventClass::Hardware,
+                     {EvChanActOpen, id_, r, also_close ? 1u : 0u});
     }
+    // The burst tag carries the request's pool slab index and the
+    // channel-side burst time; burst_acct is recoverable as
+    // chan_burst + req->bankBurstExtra (set above, stable until
+    // completion).
     Tick burst_acct = chan_burst + bank_burst_extra;
-    eq_.schedule(req->burstEnd, [this, req, chan_burst, burst_acct] {
-        ranks_[req->loc.rank].noteBurst(req->isWrite, burst_acct);
-        onBurstDone(req, chan_burst);
-    });
+    eq_.schedule(req->burstEnd,
+                 [this, req, chan_burst, burst_acct] {
+                     evBurstDone(req, chan_burst, burst_acct);
+                 },
+                 EventClass::Hardware,
+                 {EvChanBurstDone, id_, pool_.indexOf(req),
+                  chan_burst});
+}
+
+void
+Channel::evBankClosed(std::uint32_t r)
+{
+    ranks_[r].bankClosed(eq_.now());
+}
+
+void
+Channel::evActOpen(std::uint32_t r, bool also_close)
+{
+    if (also_close)
+        ranks_[r].bankClosed(eq_.now());
+    ranks_[r].bankOpened(eq_.now());
+    ranks_[r].noteActPre();
+    counters_.pocc += 1;
+}
+
+void
+Channel::evBurstDone(MemRequest *req, Tick chan_burst, Tick burst_acct)
+{
+    ranks_[req->loc.rank].noteBurst(req->isWrite, burst_acct);
+    onBurstDone(req, chan_burst);
+}
+
+void
+Channel::evPreDone(std::uint32_t r)
+{
+    ranks_[r].bankClosed(eq_.now());
+    maybePowerdown(r);
+}
+
+void
+Channel::evRelockEnter(std::uint32_t r)
+{
+    if (ranks_[r].openBanks() == 0) {
+        ranks_[r].setPowerdown(eq_.now(), true, false);
+        emitCke(DramCmd::PowerdownEnter, eq_.now(), eq_.now(), r);
+    }
+}
+
+void
+Channel::evRelockExit(std::uint32_t r)
+{
+    if (ranks_[r].powerdown())
+        emitCke(DramCmd::PowerdownExit, eq_.now(), eq_.now(), r);
+    ranks_[r].setPowerdown(eq_.now(), false);
+    maybePowerdown(r);
+}
+
+void
+Channel::evRefreshDone(std::uint32_t r)
+{
+    ranks_[r].noteRefresh();
+    maybePowerdown(r);
 }
 
 void
@@ -350,10 +413,9 @@ Channel::onBurstDone(MemRequest *req, Tick chan_burst)
         bc.bank.close();
         bc.bank.setReadyAt(std::max(bc.bank.readyAt(), pre_done));
         std::uint32_t rank_idx = r;
-        eq_.schedule(pre_done, [this, rank_idx] {
-            ranks_[rank_idx].bankClosed(eq_.now());
-            maybePowerdown(rank_idx);
-        });
+        eq_.schedule(pre_done, [this, rank_idx] { evPreDone(rank_idx); },
+                     EventClass::Hardware,
+                     {EvChanPreDone, id_, rank_idx});
     }
 
     if (req->isWrite) {
@@ -445,20 +507,12 @@ Channel::applyFrequency(const TimingParams &tp)
     // window (JEDEC requires powerdown or self-refresh to change
     // frequency).
     for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
-        eq_.schedule(quiesce, [this, r] {
-            if (ranks_[r].openBanks() == 0) {
-                ranks_[r].setPowerdown(eq_.now(), true, false);
-                emitCke(DramCmd::PowerdownEnter, eq_.now(), eq_.now(),
-                        r);
-            }
-        });
-        eq_.schedule(stall_end, [this, r] {
-            if (ranks_[r].powerdown())
-                emitCke(DramCmd::PowerdownExit, eq_.now(), eq_.now(),
-                        r);
-            ranks_[r].setPowerdown(eq_.now(), false);
-            maybePowerdown(r);
-        });
+        eq_.schedule(quiesce, [this, r] { evRelockEnter(r); },
+                     EventClass::Hardware,
+                     {EvChanRelockEnter, id_, r});
+        eq_.schedule(stall_end, [this, r] { evRelockExit(r); },
+                     EventClass::Hardware,
+                     {EvChanRelockExit, id_, r});
     }
 
     tp_ = tp;
@@ -482,7 +536,9 @@ Channel::startRefresh()
     for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
         // Stagger refreshes across ranks to avoid synchronized dips.
         Tick phase = (tp_.tREFI * (r + 1)) / (ranks_.size() + 1);
-        eq_.schedule(eq_.now() + phase, [this, r] { refreshRank(r); });
+        eq_.schedule(eq_.now() + phase, [this, r] { refreshRank(r); },
+                     EventClass::Hardware,
+                     {EvChanRefreshTick, id_, r});
     }
 }
 
@@ -496,7 +552,9 @@ Channel::refreshRank(std::uint32_t r)
     // Ranks resident in self-refresh refresh themselves; skip the
     // external refresh entirely.
     if (rk.selfRefresh()) {
-        eq_.schedule(now + tp.tREFI, [this, r] { refreshRank(r); });
+        eq_.schedule(now + tp.tREFI, [this, r] { refreshRank(r); },
+                     EventClass::Hardware,
+                     {EvChanRefreshTick, id_, r});
         return;
     }
 
@@ -519,11 +577,130 @@ Channel::refreshRank(std::uint32_t r)
         Bank &bank = banks_[base + b].bank;
         bank.setReadyAt(std::max(bank.readyAt(), end));
     }
-    eq_.schedule(end, [this, r] {
-        ranks_[r].noteRefresh();
-        maybePowerdown(r);
-    });
-    eq_.schedule(now + tp.tREFI, [this, r] { refreshRank(r); });
+    eq_.schedule(end, [this, r] { evRefreshDone(r); },
+                 EventClass::Hardware, {EvChanRefreshDone, id_, r});
+    eq_.schedule(now + tp.tREFI, [this, r] { refreshRank(r); },
+                 EventClass::Hardware, {EvChanRefreshTick, id_, r});
+}
+
+EventCallback
+Channel::rebuildEvent(std::uint32_t kind, std::uint64_t a,
+                      std::uint64_t b)
+{
+    auto r = static_cast<std::uint32_t>(a);
+    switch (kind) {
+      case EvChanBankClosed:
+        return [this, r] { evBankClosed(r); };
+      case EvChanActOpen: {
+        bool also_close = b != 0;
+        return [this, r, also_close] { evActOpen(r, also_close); };
+      }
+      case EvChanBurstDone: {
+        MemRequest *req = pool_.at(static_cast<std::size_t>(a));
+        Tick chan_burst = b;
+        Tick burst_acct = chan_burst + req->bankBurstExtra;
+        return [this, req, chan_burst, burst_acct] {
+            evBurstDone(req, chan_burst, burst_acct);
+        };
+      }
+      case EvChanPreDone:
+        return [this, r] { evPreDone(r); };
+      case EvChanRelockEnter:
+        return [this, r] { evRelockEnter(r); };
+      case EvChanRelockExit:
+        return [this, r] { evRelockExit(r); };
+      case EvChanRefreshTick:
+        return [this, r] { refreshRank(r); };
+      case EvChanRefreshDone:
+        return [this, r] { evRefreshDone(r); };
+      default:
+        panic("Channel %u: cannot rebuild event kind %s", id_,
+              eventKindName(kind));
+    }
+}
+
+void
+Channel::saveState(SectionWriter &w) const
+{
+    counters_.saveState(w);
+    tp_.saveState(w);
+    w.u64(ranks_.size());
+    for (const Rank &rk : ranks_)
+        rk.saveState(w);
+    w.u64(banks_.size());
+    for (const BankCtl &bc : banks_) {
+        bc.bank.saveState(w);
+        w.u64(bc.q.size());
+        for (const MemRequest *rq = bc.q.head(); rq != nullptr;
+             rq = rq->next)
+            w.u64(pool_.indexOf(rq));
+    }
+    for (Tick t : pdExitReadyAt_)
+        w.u64(t);
+    w.u64(writeQueue_.size());
+    for (const MemRequest *rq = writeQueue_.head(); rq != nullptr;
+         rq = rq->next)
+        w.u64(pool_.indexOf(rq));
+    w.b(drainMode_);
+    w.u64(busFreeAt_);
+    w.u64(suspendedUntil_);
+    w.u64(burstTime_);
+    w.u64(pending_);
+    w.u64(pendingReads_);
+    w.u8(static_cast<std::uint8_t>(pdMode_));
+    w.u32(decoupledDeviceMHz_);
+    w.f64(throttleUtil_);
+    w.u64(lastBurstStart_);
+    w.u64(syncBufferLatency_);
+    w.b(refreshRunning_);
+}
+
+void
+Channel::restoreState(SectionReader &rd)
+{
+    counters_.restoreState(rd);
+    tp_.restoreState(rd);
+    std::uint64_t nranks = rd.u64();
+    if (nranks != ranks_.size())
+        fatal("Channel restore: %llu ranks in snapshot, %zu "
+              "configured",
+              static_cast<unsigned long long>(nranks), ranks_.size());
+    for (Rank &rk : ranks_)
+        rk.restoreState(rd);
+    std::uint64_t nbanks = rd.u64();
+    if (nbanks != banks_.size())
+        fatal("Channel restore: %llu banks in snapshot, %zu "
+              "configured",
+              static_cast<unsigned long long>(nbanks), banks_.size());
+    for (BankCtl &bc : banks_) {
+        bc.bank.restoreState(rd);
+        if (!bc.q.empty())
+            panic("Channel restore: bank queue not empty");
+        std::uint64_t qn = rd.u64();
+        for (std::uint64_t i = 0; i < qn; ++i)
+            bc.q.push_back(pool_.at(
+                static_cast<std::size_t>(rd.u64())));
+    }
+    for (Tick &t : pdExitReadyAt_)
+        t = rd.u64();
+    if (!writeQueue_.empty())
+        panic("Channel restore: write queue not empty");
+    std::uint64_t wn = rd.u64();
+    for (std::uint64_t i = 0; i < wn; ++i)
+        writeQueue_.push_back(pool_.at(
+            static_cast<std::size_t>(rd.u64())));
+    drainMode_ = rd.b();
+    busFreeAt_ = rd.u64();
+    suspendedUntil_ = rd.u64();
+    burstTime_ = rd.u64();
+    pending_ = static_cast<std::size_t>(rd.u64());
+    pendingReads_ = static_cast<std::size_t>(rd.u64());
+    pdMode_ = static_cast<PowerdownMode>(rd.u8());
+    decoupledDeviceMHz_ = rd.u32();
+    throttleUtil_ = rd.f64();
+    lastBurstStart_ = rd.u64();
+    syncBufferLatency_ = rd.u64();
+    refreshRunning_ = rd.b();
 }
 
 void
@@ -531,6 +708,17 @@ Channel::sampleRanks(Tick now, std::vector<RankActivity> &out)
 {
     for (auto &rk : ranks_)
         out.push_back(rk.sample(now));
+}
+
+std::uint32_t
+Channel::ranksPoweredDown() const
+{
+    std::uint32_t n = 0;
+    for (const Rank &rk : ranks_) {
+        if (rk.powerdown())
+            ++n;
+    }
+    return n;
 }
 
 void

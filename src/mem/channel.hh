@@ -35,6 +35,8 @@
 namespace memscale
 {
 
+class SectionReader;
+class SectionWriter;
 class StatRegistry;
 
 class Channel
@@ -120,7 +122,32 @@ class Channel
     /** Reads queued or in flight. */
     std::size_t pendingReads() const { return pendingReads_; }
 
+    /** Ranks currently in a CKE-low state (checkpoint metadata). */
+    std::uint32_t ranksPoweredDown() const;
+
     const TimingParams &timing() const { return tp_; }
+
+    /**
+     * Stable channel index used as the `owner` field of this
+     * channel's event tags (set by the controller; standalone test
+     * channels keep 0).
+     */
+    void setId(std::uint32_t id) { id_ = id; }
+    std::uint32_t id() const { return id_; }
+
+    /** @name Checkpoint/restore */
+    /// @{
+    /** Serialize scheduler, bank/rank, and queue state (queues as
+     * request-pool slab indices). */
+    void saveState(SectionWriter &w) const;
+
+    /** Restore into a freshly constructed channel (empty queues). */
+    void restoreState(SectionReader &r);
+
+    /** Reconstruct the closure of a tagged pending event (restore). */
+    EventCallback rebuildEvent(std::uint32_t kind, std::uint64_t a,
+                               std::uint64_t b);
+    /// @}
 
   private:
     struct BankCtl
@@ -158,6 +185,21 @@ class Channel
     void emitCke(DramCmd cmd, Tick at, Tick done_at,
                  std::uint32_t rank, bool self_refresh = false);
 
+    /**
+     * @name Scheduled-event bodies.  Each corresponds to one
+     * EventKind so a checkpointed event can be rebuilt from its tag;
+     * live scheduling and rebuildEvent() share these methods.
+     */
+    /// @{
+    void evBankClosed(std::uint32_t r);
+    void evActOpen(std::uint32_t r, bool also_close);
+    void evBurstDone(MemRequest *req, Tick chan_burst, Tick burst_acct);
+    void evPreDone(std::uint32_t r);
+    void evRelockEnter(std::uint32_t r);
+    void evRelockExit(std::uint32_t r);
+    void evRefreshDone(std::uint32_t r);
+    /// @}
+
     EventQueue &eq_;
     const MemConfig &cfg_;
     RequestPool &pool_;
@@ -187,6 +229,7 @@ class Channel
 
     CommandObserver *obs_ = nullptr;
     std::uint32_t chanId_ = 0;
+    std::uint32_t id_ = 0;     ///< event-tag owner id (setId)
 };
 
 } // namespace memscale

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "obs/stat_registry.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -15,9 +16,11 @@ MemoryController::MemoryController(EventQueue &eq, const MemConfig &cfg,
 {
     const TimingParams &t = TimingParams::at(initial);
     channels_.reserve(cfg_.numChannels);
-    for (std::uint32_t c = 0; c < cfg_.numChannels; ++c)
+    for (std::uint32_t c = 0; c < cfg_.numChannels; ++c) {
         channels_.push_back(
             std::make_unique<Channel>(eq_, cfg_, pool_, t));
+        channels_.back()->setId(c);
+    }
 }
 
 MemRequest *
@@ -220,12 +223,146 @@ MemoryController::registerStats(StatRegistry &reg,
     }
 }
 
+void
+MemoryController::saveState(SectionWriter &w) const
+{
+    // Pool layout first: restore must materialize the slab before
+    // queue contents and event tags can resolve indices into it.
+    w.u64(pool_.capacity());
+    const std::vector<std::size_t> free = pool_.freeListIndices();
+    w.u64(free.size());
+    for (std::size_t idx : free)
+        w.u64(idx);
+
+    std::vector<bool> is_free(pool_.capacity(), false);
+    for (std::size_t idx : free)
+        is_free[idx] = true;
+    for (std::size_t i = 0; i < pool_.capacity(); ++i) {
+        if (is_free[i])
+            continue;
+        const MemRequest *q = pool_.at(i);
+        w.u64(q->addr);
+        w.b(q->isWrite);
+        w.u32(q->core);
+        w.u64(q->arrival);
+        w.u64(q->seq);
+        w.u32(q->loc.channel);
+        w.u32(q->loc.rank);
+        w.u32(q->loc.bank);
+        w.u64(q->loc.row);
+        w.u64(q->loc.column);
+        w.u64(q->serviceStart);
+        w.u64(q->dataReady);
+        w.u64(q->burstStart);
+        w.u64(q->burstEnd);
+        w.u8(static_cast<std::uint8_t>(q->outcome));
+        w.b(q->sawPowerdownExit);
+        w.u64(q->bankBurstExtra);
+        w.b(q->client != nullptr);
+    }
+
+    w.u32(static_cast<std::uint32_t>(channels_.size()));
+    for (FreqIndex f : chanFreq_)
+        w.u32(f);
+    w.u64(nextSeq_);
+    w.u64(freqTransitions_);
+    w.u64(relockStall_);
+    w.u32(decoupledMHz_);
+    for (const auto &ch : channels_)
+        ch->saveState(w);
+}
+
+void
+MemoryController::restoreState(SectionReader &r,
+                               const std::vector<MemClient *> &clients)
+{
+    const std::size_t cap = r.u64();
+    std::vector<std::size_t> free(r.u64());
+    for (std::size_t &idx : free)
+        idx = r.u64();
+    pool_.restoreLayout(cap, free);
+
+    std::vector<bool> is_free(cap, false);
+    for (std::size_t idx : free)
+        is_free[idx] = true;
+    for (std::size_t i = 0; i < cap; ++i) {
+        if (is_free[i])
+            continue;
+        MemRequest *q = pool_.at(i);
+        q->addr = r.u64();
+        q->isWrite = r.b();
+        q->core = r.u32();
+        q->arrival = r.u64();
+        q->seq = r.u64();
+        q->loc.channel = r.u32();
+        q->loc.rank = r.u32();
+        q->loc.bank = r.u32();
+        q->loc.row = r.u64();
+        q->loc.column = r.u64();
+        q->serviceStart = r.u64();
+        q->dataReady = r.u64();
+        q->burstStart = r.u64();
+        q->burstEnd = r.u64();
+        q->outcome = static_cast<RowOutcome>(r.u8());
+        q->sawPowerdownExit = r.b();
+        q->bankBurstExtra = r.u64();
+        const bool has_client = r.b();
+        if (has_client) {
+            if (q->core >= clients.size() ||
+                clients[q->core] == nullptr) {
+                fatal("MemoryController: restored request (core %u) "
+                      "has no client to rebind",
+                      q->core);
+            }
+            q->client = clients[q->core];
+        } else {
+            q->client = nullptr;
+        }
+        q->prev = nullptr;
+        q->next = nullptr;
+    }
+
+    const std::uint32_t nchan = r.u32();
+    if (nchan != channels_.size())
+        fatal("MemoryController: snapshot has %u channels, "
+              "configuration has %zu",
+              nchan, channels_.size());
+    for (FreqIndex &f : chanFreq_)
+        f = r.u32();
+    nextSeq_ = r.u64();
+    freqTransitions_ = r.u64();
+    relockStall_ = r.u64();
+    decoupledMHz_ = r.u32();
+    for (auto &ch : channels_)
+        ch->restoreState(r);
+}
+
+EventCallback
+MemoryController::rebuildChannelEvent(std::uint32_t owner,
+                                      std::uint32_t kind,
+                                      std::uint64_t a, std::uint64_t b)
+{
+    if (owner >= channels_.size())
+        fatal("MemoryController: event owner %u out of %zu channels",
+              owner, channels_.size());
+    return channels_[owner]->rebuildEvent(kind, a, b);
+}
+
 std::size_t
 MemoryController::pending() const
 {
     std::size_t n = 0;
     for (const auto &ch : channels_)
         n += ch->pending();
+    return n;
+}
+
+std::uint32_t
+MemoryController::ranksPoweredDown() const
+{
+    std::uint32_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->ranksPoweredDown();
     return n;
 }
 

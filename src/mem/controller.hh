@@ -31,6 +31,8 @@
 namespace memscale
 {
 
+class SectionReader;
+class SectionWriter;
 class StatRegistry;
 
 class MemoryController
@@ -129,6 +131,9 @@ class MemoryController
     /** Total requests queued or in flight across channels. */
     std::size_t pending() const;
 
+    /** Ranks currently in a CKE-low state across all channels. */
+    std::uint32_t ranksPoweredDown() const;
+
     /** Request slab shared by this controller's channels. */
     const RequestPool &requestPool() const { return pool_; }
 
@@ -140,6 +145,34 @@ class MemoryController
      */
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /** @name Checkpoint/restore */
+    /// @{
+    /**
+     * Serialize the request pool (capacity, free-list order, every
+     * in-flight request's fields), the frequency domain, and each
+     * channel, in that order, into one section.
+     */
+    void saveState(SectionWriter &w) const;
+
+    /**
+     * Restore into a freshly constructed controller.  `clients`
+     * rebinds each in-flight read's completion sink by core id
+     * (clients[req->core]); pass the per-core MemClient list the
+     * original run used.
+     */
+    void restoreState(SectionReader &r,
+                      const std::vector<MemClient *> &clients);
+
+    /**
+     * Reconstruct a channel-owned pending event from its checkpoint
+     * tag (`owner` is the channel index stamped by setId).
+     */
+    EventCallback rebuildChannelEvent(std::uint32_t owner,
+                                      std::uint32_t kind,
+                                      std::uint64_t a,
+                                      std::uint64_t b);
+    /// @}
 
   private:
     EventQueue &eq_;

@@ -1,7 +1,57 @@
 #include "mem/counters.hh"
 
+#include "snapshot/serializer.hh"
+
 namespace memscale
 {
+
+void
+McCounters::saveState(SectionWriter &w) const
+{
+    w.u64(bto);
+    w.u64(btc);
+    w.f64(cto);
+    w.u64(ctc);
+    w.u64(rbhc);
+    w.u64(obmc);
+    w.u64(cbmc);
+    w.u64(epdc);
+    w.u64(pocc);
+    w.u64(rankTime);
+    w.u64(rankPreTime);
+    w.u64(rankPrePdTime);
+    w.u64(rankActPdTime);
+    w.u64(reads);
+    w.u64(writes);
+    w.u64(busBusyTime);
+    w.u64(readLatencyTotal);
+    w.u64(freqTransitions);
+    w.u64(relockStallTime);
+}
+
+void
+McCounters::restoreState(SectionReader &r)
+{
+    bto = r.u64();
+    btc = r.u64();
+    cto = r.f64();
+    ctc = r.u64();
+    rbhc = r.u64();
+    obmc = r.u64();
+    cbmc = r.u64();
+    epdc = r.u64();
+    pocc = r.u64();
+    rankTime = r.u64();
+    rankPreTime = r.u64();
+    rankPrePdTime = r.u64();
+    rankActPdTime = r.u64();
+    reads = r.u64();
+    writes = r.u64();
+    busBusyTime = r.u64();
+    readLatencyTotal = r.u64();
+    freqTransitions = r.u64();
+    relockStallTime = r.u64();
+}
 
 McCounters
 McCounters::operator-(const McCounters &o) const

@@ -18,6 +18,9 @@
 namespace memscale
 {
 
+class SectionReader;
+class SectionWriter;
+
 struct McCounters
 {
     /// @name Transactions-outstanding accumulators.
@@ -67,6 +70,12 @@ struct McCounters
     /// @}
 
     McCounters operator-(const McCounters &o) const;
+
+    /** @name Checkpoint/restore */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+    /// @}
 
     /** Average queue work seen at a bank, including self (>= 1). */
     double xiBank() const;

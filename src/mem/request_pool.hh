@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/log.hh"
 #include "mem/request.hh"
 
 namespace memscale
@@ -59,6 +60,77 @@ class RequestPool
 
     /** Total slab capacity (high-water mark, rounded to ChunkSize). */
     std::size_t capacity() const { return chunks_.size() * ChunkSize; }
+
+    /**
+     * @name Checkpoint support.  A request's slab index is its stable
+     * identity across save/restore: queues and pending events
+     * serialize indices, and restoreLayout() rebuilds the exact
+     * free-list order so post-resume allocations return the same
+     * slots as the uninterrupted run.
+     */
+    /// @{
+    std::size_t
+    indexOf(const MemRequest *r) const
+    {
+        for (std::size_t c = 0; c < chunks_.size(); ++c) {
+            const MemRequest *base = chunks_[c].get();
+            if (r >= base && r < base + ChunkSize) {
+                return c * ChunkSize +
+                       static_cast<std::size_t>(r - base);
+            }
+        }
+        panic("RequestPool: request not from this pool");
+    }
+
+    MemRequest *
+    at(std::size_t idx)
+    {
+        if (idx >= capacity())
+            panic("RequestPool: index %zu out of %zu", idx,
+                  capacity());
+        return &chunks_[idx / ChunkSize][idx % ChunkSize];
+    }
+
+    const MemRequest *
+    at(std::size_t idx) const
+    {
+        if (idx >= capacity())
+            panic("RequestPool: index %zu out of %zu", idx,
+                  capacity());
+        return &chunks_[idx / ChunkSize][idx % ChunkSize];
+    }
+
+    /** Free-list order, head first. */
+    std::vector<std::size_t>
+    freeListIndices() const
+    {
+        std::vector<std::size_t> out;
+        for (const MemRequest *r = freeHead_; r != nullptr;
+             r = r->next)
+            out.push_back(indexOf(r));
+        return out;
+    }
+
+    /** Grow to `cap` slots and impose the given free-list order. */
+    void
+    restoreLayout(std::size_t cap,
+                  const std::vector<std::size_t> &free_order)
+    {
+        if (cap % ChunkSize != 0 || free_order.size() > cap)
+            panic("RequestPool: bad restore layout (%zu slots, %zu "
+                  "free)",
+                  cap, free_order.size());
+        while (capacity() < cap)
+            grow();
+        freeHead_ = nullptr;
+        for (std::size_t i = free_order.size(); i-- > 0;) {
+            MemRequest *r = at(free_order[i]);
+            r->next = freeHead_;
+            freeHead_ = r;
+        }
+        inUse_ = cap - free_order.size();
+    }
+    /// @}
 
   private:
     void

@@ -2,6 +2,8 @@
 
 #include "common/log.hh"
 #include "obs/epoch_recorder.hh"
+#include "sim/event_kinds.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -55,7 +57,7 @@ EpochController::beginEpoch()
     epochStart_ = takeSnapshot();
     epochStartTick_ = eq_.now();
     eq_.scheduleIn(ctx_.profileLen, [this] { endProfile(); },
-                   EventClass::Policy);
+                   EventClass::Policy, {EvEpochEndProfile});
 }
 
 void
@@ -82,7 +84,7 @@ EpochController::endProfile()
     if (epoch_end <= eq_.now())
         epoch_end = eq_.now() + 1;
     eq_.schedule(epoch_end, [this] { endEpoch(); },
-                 EventClass::Policy);
+                 EventClass::Policy, {EvEpochEndEpoch});
 }
 
 void
@@ -133,6 +135,70 @@ EpochController::endEpoch()
     }
 
     beginEpoch();
+}
+
+void
+EpochController::saveState(SectionWriter &w) const
+{
+    epochStart_.mc.saveState(w);
+    w.u32(static_cast<std::uint32_t>(epochStart_.cores.size()));
+    for (const CoreSample &cs : epochStart_.cores) {
+        w.u64(cs.tic);
+        w.u64(cs.tlm);
+    }
+    w.u64(epochStart_.at);
+    w.u32(epochStart_.freq);
+    w.u64(epochStartTick_);
+    w.u32(static_cast<std::uint32_t>(history_.size()));
+    for (const EpochRecord &rec : history_) {
+        w.u64(rec.start);
+        w.u64(rec.end);
+        w.u32(rec.busMHz);
+        w.f64(rec.cpuGHz);
+        w.u32(static_cast<std::uint32_t>(rec.coreCpi.size()));
+        for (double cpi : rec.coreCpi)
+            w.f64(cpi);
+        w.f64(rec.channelUtil);
+    }
+}
+
+void
+EpochController::restoreState(SectionReader &r)
+{
+    epochStart_.mc.restoreState(r);
+    epochStart_.cores.assign(r.u32(), CoreSample{});
+    for (CoreSample &cs : epochStart_.cores) {
+        cs.tic = r.u64();
+        cs.tlm = r.u64();
+    }
+    epochStart_.at = r.u64();
+    epochStart_.freq = r.u32();
+    epochStartTick_ = r.u64();
+    history_.assign(r.u32(), EpochRecord{});
+    for (EpochRecord &rec : history_) {
+        rec.start = r.u64();
+        rec.end = r.u64();
+        rec.busMHz = r.u32();
+        rec.cpuGHz = r.f64();
+        rec.coreCpi.assign(r.u32(), 0.0);
+        for (double &cpi : rec.coreCpi)
+            cpi = r.f64();
+        rec.channelUtil = r.f64();
+    }
+}
+
+EventCallback
+EpochController::rebuildEvent(std::uint32_t kind)
+{
+    switch (kind) {
+      case EvEpochEndProfile:
+        return [this] { endProfile(); };
+      case EvEpochEndEpoch:
+        return [this] { endEpoch(); };
+      default:
+        panic("EpochController: cannot rebuild event kind %u (%s)",
+              kind, eventKindName(kind));
+    }
 }
 
 } // namespace memscale

@@ -22,6 +22,8 @@ namespace memscale
 {
 
 class EpochRecorder;
+class SectionReader;
+class SectionWriter;
 
 /** One epoch of recorded history. */
 struct EpochRecord
@@ -65,6 +67,15 @@ class EpochController
      * snapshot).  nullptr (the default) keeps recording fully off.
      */
     void setRecorder(EpochRecorder *rec) { recorder_ = rec; }
+
+    /** @name Checkpoint/restore.  A resumed run constructs the
+     * controller but does NOT call start(); the saved in-flight
+     * Policy event (endProfile or endEpoch) is rebuilt instead. */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+    EventCallback rebuildEvent(std::uint32_t kind);
+    /// @}
 
   private:
     struct Snapshot

@@ -49,6 +49,24 @@ class CoScalePolicy : public Policy
 
     const SlackTracker &slack() const { return slack_; }
 
+    void
+    saveState(SectionWriter &w) const override
+    {
+        slack_.saveState(w);
+        w.b(slackReady_);
+        w.f64(chosenGHz_);
+        w.f64(currentGHz_);
+    }
+
+    void
+    restoreState(SectionReader &r) override
+    {
+        slack_.restoreState(r);
+        slackReady_ = r.b();
+        chosenGHz_ = r.f64();
+        currentGHz_ = r.f64();
+    }
+
   private:
     SlackTracker slack_;
     PerfModel perf_;

@@ -53,6 +53,34 @@ class MemScalePolicy : public Policy
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) override;
 
+    void
+    saveState(SectionWriter &w) const override
+    {
+        slack_.saveState(w);
+        w.b(slackReady_);
+        w.b(decision_.valid);
+        w.u32(decision_.chosen);
+        w.f64(decision_.predictedCpi);
+        w.f64(decision_.predictedMemJ);
+        w.f64(decision_.predictedSysJ);
+        w.f64(decision_.ser);
+        w.f64(decision_.minSlack);
+    }
+
+    void
+    restoreState(SectionReader &r) override
+    {
+        slack_.restoreState(r);
+        slackReady_ = r.b();
+        decision_.valid = r.b();
+        decision_.chosen = r.u32();
+        decision_.predictedCpi = r.f64();
+        decision_.predictedMemJ = r.f64();
+        decision_.predictedSysJ = r.f64();
+        decision_.ser = r.f64();
+        decision_.minSlack = r.f64();
+    }
+
   private:
     Options opts_;
     SlackTracker slack_;

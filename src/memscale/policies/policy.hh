@@ -23,6 +23,8 @@
 namespace memscale
 {
 
+class SectionReader;
+class SectionWriter;
 class StatRegistry;
 
 /**
@@ -102,6 +104,17 @@ class Policy
         (void)reg;
         (void)prefix;
     }
+
+    /**
+     * @name Checkpoint/restore of policy-internal state (slack
+     * accounts, decision trails).  Static policies are stateless
+     * after configure(); the defaults serialize nothing.  Restore
+     * runs after configure() on the resumed run.
+     */
+    /// @{
+    virtual void saveState(SectionWriter &w) const { (void)w; }
+    virtual void restoreState(SectionReader &r) { (void)r; }
+    /// @}
 };
 
 /**

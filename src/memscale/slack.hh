@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -60,6 +61,27 @@ class SlackTracker
     double slack(std::uint32_t core) const { return slack_[core]; }
     double gamma() const { return gamma_; }
     std::size_t size() const { return slack_.size(); }
+
+    /** @name Checkpoint/restore (bit-exact account balances). */
+    /// @{
+    void
+    saveState(SectionWriter &w) const
+    {
+        w.f64(gamma_);
+        w.u32(static_cast<std::uint32_t>(slack_.size()));
+        for (double s : slack_)
+            w.f64(s);
+    }
+
+    void
+    restoreState(SectionReader &r)
+    {
+        gamma_ = r.f64();
+        slack_.assign(r.u32(), 0.0);
+        for (double &s : slack_)
+            s = r.f64();
+    }
+    /// @}
 
   private:
     std::vector<double> slack_;

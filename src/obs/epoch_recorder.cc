@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -181,6 +182,30 @@ bool
 EpochRecorder::writeJson(const std::string &path) const
 {
     return writeFile(path, toJson(), "epoch stats JSON");
+}
+
+void
+EpochRecorder::saveState(SectionWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(names_.size()));
+    for (const std::string &n : names_)
+        w.str(n);
+    w.u64(ncols_);
+    w.u64(data_.size());
+    for (double v : data_)
+        w.f64(v);
+}
+
+void
+EpochRecorder::restoreState(SectionReader &r)
+{
+    names_.assign(r.u32(), std::string());
+    for (std::string &n : names_)
+        n = r.str();
+    ncols_ = r.u64();
+    data_.assign(r.u64(), 0.0);
+    for (double &v : data_)
+        v = r.f64();
 }
 
 } // namespace memscale

@@ -29,6 +29,9 @@
 namespace memscale
 {
 
+class SectionReader;
+class SectionWriter;
+
 /** Trace/track metadata the exporters need about the simulated box. */
 struct ObsMeta
 {
@@ -111,6 +114,13 @@ class EpochRecorder
     std::string toJson() const;
     bool writeCsv(const std::string &path) const;
     bool writeJson(const std::string &path) const;
+    /// @}
+
+    /** @name Checkpoint/restore: schema + recorded rows (meta and
+     * registry binding come from the resumed run's configuration). */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
     /// @}
 
   private:

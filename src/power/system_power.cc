@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -36,6 +37,48 @@ EnergyBreakdown::operator-(const EnergyBreakdown &o) const
     r.cpu = cpu - o.cpu;
     r.rest = rest - o.rest;
     return r;
+}
+
+void
+EnergyBreakdown::saveState(SectionWriter &w) const
+{
+    w.f64(background);
+    w.f64(actPre);
+    w.f64(readWrite);
+    w.f64(termination);
+    w.f64(refresh);
+    w.f64(pllReg);
+    w.f64(mc);
+    w.f64(cpu);
+    w.f64(rest);
+}
+
+void
+EnergyBreakdown::restoreState(SectionReader &r)
+{
+    background = r.f64();
+    actPre = r.f64();
+    readWrite = r.f64();
+    termination = r.f64();
+    refresh = r.f64();
+    pllReg = r.f64();
+    mc = r.f64();
+    cpu = r.f64();
+    rest = r.f64();
+}
+
+void
+SystemEnergyIntegrator::saveState(SectionWriter &w) const
+{
+    total_.saveState(w);
+    w.u64(elapsed_);
+}
+
+void
+SystemEnergyIntegrator::restoreState(SectionReader &r)
+{
+    total_.restoreState(r);
+    elapsed_ = r.u64();
 }
 
 void

@@ -18,6 +18,9 @@
 namespace memscale
 {
 
+class SectionReader;
+class SectionWriter;
+
 /** System-wide energy split (the categories of Figs. 2 and 10). */
 struct EnergyBreakdown
 {
@@ -52,6 +55,12 @@ struct EnergyBreakdown
 
     EnergyBreakdown &operator+=(const EnergyBreakdown &o);
     EnergyBreakdown operator-(const EnergyBreakdown &o) const;
+
+    /** @name Checkpoint/restore (bit-exact double round-trip). */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+    /// @}
 };
 
 /**
@@ -111,6 +120,13 @@ class SystemEnergyIntegrator
     void setRestOfSystemWatts(Watts w) { restW_ = w; }
 
     const PowerParams &params() const { return pp_; }
+
+    /** @name Checkpoint/restore (accumulated energy + elapsed time;
+     * params and rest watts come from configuration). */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+    /// @}
 
   private:
     PowerParams pp_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/event_kinds.hh"
 
 namespace memscale
 {
@@ -50,7 +51,8 @@ EventQueue::releaseSlot(std::uint32_t idx)
 }
 
 EventId
-EventQueue::schedule(Tick when, EventCallback fn, EventClass cls)
+EventQueue::schedule(Tick when, EventCallback fn, EventClass cls,
+                     EventTag tag)
 {
     if (when < now_)
         panic("event scheduled in the past (when=%llu now=%llu)",
@@ -59,6 +61,7 @@ EventQueue::schedule(Tick when, EventCallback fn, EventClass cls)
     std::uint32_t slot = allocSlot();
     Slot &s = slots_[slot];
     s.fn = std::move(fn);
+    s.tag = tag;
     s.live = true;
     std::uint64_t seq = nextSeq_++;
     Entry e{when, seq, slot, s.gen, static_cast<std::uint8_t>(cls)};
@@ -166,6 +169,67 @@ EventQueue::step()
     now_ = e.when;
     fn();
     return true;
+}
+
+std::vector<PendingEvent>
+EventQueue::exportPending() const
+{
+    // Collect live entries with their ordering keys, sort by execution
+    // order, then strip the keys: the restore side re-schedules in this
+    // order with fresh sequences, which reproduces every same-tick
+    // tie-break.
+    struct Keyed
+    {
+        Entry e;
+        EventTag tag;
+    };
+    std::vector<Keyed> live;
+    live.reserve(pending_);
+    for (const Entry &e : heap_) {
+        if (!liveEntry(e))
+            continue;
+        live.push_back({e, slots_[e.slot].tag});
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Keyed &a, const Keyed &b) { return b.e > a.e; });
+    std::vector<PendingEvent> out;
+    out.reserve(live.size());
+    for (const Keyed &k : live) {
+        if (k.tag.kind == EvEphemeral)
+            continue;
+        if (k.tag.kind == EvNone)
+            fatal("checkpoint: untagged event pending at tick %llu "
+                  "(class %u) cannot be serialized",
+                  static_cast<unsigned long long>(k.e.when),
+                  static_cast<unsigned>(k.e.cls));
+        out.push_back({k.e.when, static_cast<EventClass>(k.e.cls),
+                       k.tag});
+    }
+    return out;
+}
+
+void
+EventQueue::clearPending()
+{
+    for (const Entry &e : heap_) {
+        if (liveEntry(e))
+            releaseSlot(e.slot);
+    }
+    heap_.clear();
+    pending_ = 0;
+    stale_ = 0;
+}
+
+void
+EventQueue::setNow(Tick t)
+{
+    if (pending_ != 0)
+        panic("EventQueue::setNow with %zu events pending", pending_);
+    if (t < now_)
+        panic("EventQueue::setNow moving backwards (%llu -> %llu)",
+              static_cast<unsigned long long>(now_),
+              static_cast<unsigned long long>(t));
+    now_ = t;
 }
 
 std::uint64_t

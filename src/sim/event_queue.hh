@@ -52,6 +52,32 @@ enum class EventClass : std::uint8_t
 };
 
 /**
+ * Serializable description of a scheduled event.  Closures cannot be
+ * written to a checkpoint, so every schedule site provides a tag —
+ * the event's kind (sim/event_kinds.hh), the scheduling component
+ * (owner, e.g. a channel or core id), and two operands whose meaning
+ * is kind-specific.  On resume the owning component reconstructs an
+ * equivalent closure from the tag.  kind == EvNone marks an untagged
+ * event; exporting one is fatal, so new schedule sites cannot silently
+ * break checkpointing.
+ */
+struct EventTag
+{
+    std::uint32_t kind = 0;   ///< EventKind (0 = EvNone = untagged)
+    std::uint32_t owner = 0;  ///< scheduling component id
+    std::uint64_t a = 0;      ///< kind-specific operand
+    std::uint64_t b = 0;      ///< kind-specific operand
+};
+
+/** One pending event as exported for a checkpoint. */
+struct PendingEvent
+{
+    Tick when = 0;
+    EventClass cls = EventClass::Hardware;
+    EventTag tag;
+};
+
+/**
  * Kernel implementation selector.  Fast is the production slab/lazy-
  * cancel path; Reference is a deliberately simple sorted-list kernel
  * with eager cancellation that serves as the correctness oracle for
@@ -78,18 +104,21 @@ class EventQueue
     Tick now() const { return now_; }
 
     /**
-     * Schedule fn at absolute tick `when` (>= now).
+     * Schedule fn at absolute tick `when` (>= now).  `tag` is the
+     * event's serializable identity for checkpointing; untagged events
+     * are legal to run but fatal to checkpoint.
      * @return an id usable with cancel().
      */
     EventId schedule(Tick when, EventCallback fn,
-                     EventClass cls = EventClass::Hardware);
+                     EventClass cls = EventClass::Hardware,
+                     EventTag tag = {});
 
     /** Schedule fn `delta` ticks from now. */
     EventId
     scheduleIn(Tick delta, EventCallback fn,
-               EventClass cls = EventClass::Hardware)
+               EventClass cls = EventClass::Hardware, EventTag tag = {})
     {
-        return schedule(now_ + delta, std::move(fn), cls);
+        return schedule(now_ + delta, std::move(fn), cls, tag);
     }
 
     /**
@@ -117,6 +146,31 @@ class EventQueue
 
     /** Abort the current runUntil() after the in-flight event returns. */
     void stop() { stopped_ = true; }
+
+    /** @name Checkpoint support */
+    /// @{
+    /**
+     * Export every pending event's tag, sorted by execution order
+     * (when, class, insertion sequence).  EvEphemeral-tagged events
+     * (the checkpoint writer's own) are skipped; an untagged
+     * (EvNone) live event is fatal — it could not be reconstructed.
+     */
+    std::vector<PendingEvent> exportPending() const;
+
+    /**
+     * Destroy every pending event (restore drops the freshly
+     * constructed system's events before re-scheduling the saved
+     * ones).
+     */
+    void clearPending();
+
+    /**
+     * Jump the clock to `t` on an empty queue (restore only).
+     * Re-scheduled events then carry fresh insertion sequences in
+     * saved execution order, preserving all same-tick tie-breaks.
+     */
+    void setNow(Tick t);
+    /// @}
 
   private:
     /**
@@ -148,6 +202,7 @@ class EventQueue
     struct Slot
     {
         EventCallback fn;
+        EventTag tag;
         std::uint32_t gen = 1;
         std::uint32_t nextFree = NoSlot;
         bool live = false;

@@ -15,6 +15,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "snapshot/serializer.hh"
 
 namespace memscale
 {
@@ -39,6 +40,27 @@ class AddressStream
 
     /** Produce the next access. @param is_store set per storeFrac. */
     Addr next(bool &is_store);
+
+    /** @name Checkpoint/restore (PRNG + stream cursors). */
+    /// @{
+    void
+    saveState(SectionWriter &w) const
+    {
+        saveRng(w, rng_);
+        w.u64(cursors_.size());
+        for (std::uint64_t c : cursors_)
+            w.u64(c);
+    }
+
+    void
+    restoreState(SectionReader &r)
+    {
+        restoreRng(r, rng_);
+        cursors_.resize(r.u64());
+        for (std::uint64_t &c : cursors_)
+            c = r.u64();
+    }
+    /// @}
 
   private:
     AddressStreamParams params_;

@@ -59,15 +59,22 @@ TraceFileSource::TraceFileSource(const std::string &path, bool loop)
     if (!file_)
         fatal("TraceFileSource: cannot open '%s'", path.c_str());
     TraceFileHeader hdr{};
-    if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1 ||
-        hdr.magic != traceFileMagic) {
-        fatal("TraceFileSource: '%s' is not a MemScale trace",
-              path.c_str());
+    std::size_t got = std::fread(&hdr, 1, sizeof(hdr), file_);
+    if (got < sizeof(hdr)) {
+        fatal("TraceFileSource: '%s' is truncated: header is %zu of "
+              "%zu bytes",
+              path.c_str(), got, sizeof(hdr));
     }
+    if (hdr.magic != traceFileMagic)
+        fatal("TraceFileSource: '%s' is not a MemScale trace (bad "
+              "magic)",
+              path.c_str());
     if (hdr.version != traceFileVersion)
-        fatal("TraceFileSource: '%s' has unsupported version %u",
-              path.c_str(), hdr.version);
+        fatal("TraceFileSource: '%s' has unsupported version %u "
+              "(expected %u)",
+              path.c_str(), hdr.version, traceFileVersion);
     dataStart_ = std::ftell(file_);
+    path_ = path;
 }
 
 TraceFileSource::~TraceFileSource()
@@ -77,15 +84,35 @@ TraceFileSource::~TraceFileSource()
 }
 
 bool
+TraceFileSource::readRecord(TraceFileRecord &rec)
+{
+    // Byte-granular read so a file cut off mid-record is diagnosed
+    // rather than silently treated as a clean end-of-trace.
+    std::size_t got = std::fread(&rec, 1, sizeof(rec), file_);
+    if (got == sizeof(rec))
+        return true;
+    if (std::ferror(file_))
+        fatal("TraceFileSource: read error in '%s'", path_.c_str());
+    if (got != 0) {
+        fatal("TraceFileSource: '%s' is truncated mid-record (%zu of "
+              "%zu bytes after %llu records)",
+              path_.c_str(), got, sizeof(rec),
+              static_cast<unsigned long long>(replayed_));
+    }
+    return false;   // clean EOF on a record boundary
+}
+
+bool
 TraceFileSource::next(TraceChunk &chunk)
 {
     TraceFileRecord rec;
-    if (std::fread(&rec, sizeof(rec), 1, file_) != 1) {
+    if (!readRecord(rec)) {
         if (!loop_)
             return false;
         if (std::fseek(file_, dataStart_, SEEK_SET) != 0)
-            return false;
-        if (std::fread(&rec, sizeof(rec), 1, file_) != 1)
+            fatal("TraceFileSource: rewind failed for '%s'",
+                  path_.c_str());
+        if (!readRecord(rec))
             return false;   // empty trace
     }
     chunk.instructions = rec.instructions;

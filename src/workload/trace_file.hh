@@ -72,10 +72,19 @@ class TraceFileSource : public TraceSource
     std::uint64_t replayed() const { return replayed_; }
 
   private:
+    /**
+     * Read one record; true on success, false on a clean end-of-file
+     * at a record boundary.  A short read anywhere else (truncated
+     * file, I/O error) is fatal — it must never masquerade as the end
+     * of the trace.
+     */
+    bool readRecord(TraceFileRecord &rec);
+
     std::FILE *file_;
     long dataStart_ = 0;
     bool loop_;
     std::uint64_t replayed_ = 0;
+    std::string path_;
 };
 
 } // namespace memscale

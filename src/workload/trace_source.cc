@@ -99,4 +99,28 @@ SyntheticTraceSource::next(TraceChunk &chunk)
     return true;
 }
 
+void
+SyntheticTraceSource::saveState(SectionWriter &w) const
+{
+    saveRng(w, rng_);
+    w.u64(phaseIdx_);
+    w.u64(phaseInstr_);
+    w.u64(generated_);
+    w.u64(streamLine_);
+    w.u64(lastMiss_);
+    w.b(exhausted_);
+}
+
+void
+SyntheticTraceSource::restoreState(SectionReader &r)
+{
+    restoreRng(r, rng_);
+    phaseIdx_ = static_cast<std::size_t>(r.u64());
+    phaseInstr_ = r.u64();
+    generated_ = r.u64();
+    streamLine_ = r.u64();
+    lastMiss_ = r.u64();
+    exhausted_ = r.b();
+}
+
 } // namespace memscale

@@ -17,6 +17,7 @@
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "cpu/trace.hh"
+#include "snapshot/serializer.hh"
 #include "workload/app_profile.hh"
 
 namespace memscale
@@ -38,6 +39,12 @@ class SyntheticTraceSource : public TraceSource
 
     /** Instructions generated so far. */
     std::uint64_t generated() const { return generated_; }
+
+    /** @name Checkpoint/restore (PRNG position + phase cursor). */
+    /// @{
+    void saveState(SectionWriter &w) const;
+    void restoreState(SectionReader &r);
+    /// @}
 
   private:
     const AppPhase &currentPhase();

@@ -1,0 +1,613 @@
+/**
+ * @file
+ * Checkpoint/restore tests.
+ *
+ * Three layers, mirroring the subsystem:
+ *
+ *  - Serializer: the container format itself — typed round-trips and
+ *    the rejection paths (bad magic, wrong version, truncation, CRC
+ *    corruption, over-reads) that keep a damaged checkpoint from ever
+ *    restoring silently.
+ *  - ResumeEquivalence: the headline property.  For every Table-1 mix
+ *    and every policy, a run cut at a seeded-fuzz mid-run tick and
+ *    resumed from the snapshot must be bit-identical to the
+ *    uninterrupted run — same state digest, same flattened result
+ *    fields, same epoch-recorder CSV bytes.
+ *  - Churn: checkpoints taken at deliberately awkward instants — mid
+ *    frequency-relock, mid refresh, with most ranks powered down,
+ *    inside a profiling window — restore exactly and replay cleanly
+ *    under the strict DDR3 protocol checker.
+ *
+ * Everything here uses the golden-test scenario (500k instructions,
+ * 0.1 ms epochs, seed 12345) so failures can be cross-checked against
+ * test_golden, whose hashes must NOT change when checkpoint events
+ * are added to a run: snapshot writers are pure readers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "harness/differential.hh"
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "memscale/policies/policy.hh"
+#include "snapshot/serializer.hh"
+#include "workload/mixes.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+/** Same scenario as test_golden's goldenConfig(). */
+SystemConfig
+snapConfig(const std::string &mix)
+{
+    SystemConfig cfg;
+    cfg.mixName = mix;
+    cfg.instrBudget = 500'000;
+    cfg.epochLen = msToTick(0.1);
+    cfg.profileLen = usToTick(10.0);
+    cfg.seed = 12345;
+    return cfg;
+}
+
+constexpr Watts kRestWatts = 150.0;
+
+std::string
+scratch(const std::string &name)
+{
+    return "/tmp/memscale_test_snapshot_" + name;
+}
+
+void
+removeShards(const std::string &prefix, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        std::remove((prefix + ".shard" + std::to_string(i)).c_str());
+}
+
+/** The FatalError message for an action, or "" if none was thrown. */
+template <typename Fn>
+std::string
+fatalMessage(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const FatalError &e) {
+        return e.message;
+    }
+    return "";
+}
+
+/**
+ * Everything two runs must agree on, gathered inside a sweep task so
+ * the EXPECTs can run on the main thread.
+ */
+struct EquivOutcome
+{
+    std::string label;
+    Tick cut = 0;
+    std::uint64_t fullHash = 0;
+    std::uint64_t shardedHash = 0;
+    bool fieldsEqual = false;
+    bool csvEqual = false;
+};
+
+/**
+ * Cut one (mix, policy) run at a seeded-fuzz mid-run tick, resume it
+ * from the snapshot, and collect every equivalence signal.  `salt`
+ * varies the cut per case so the matrix probes many different resume
+ * points, while staying fully deterministic.
+ */
+EquivOutcome
+checkResume(const SystemConfig &base, const std::string &policy,
+            std::uint64_t salt)
+{
+    SystemConfig cfg = base;
+    cfg.observe = true;
+    RunResult full = runPolicy(cfg, policy, kRestWatts);
+
+    // Fuzz the cut into the middle three fifths of the run: past
+    // warm-up, before the finish line.
+    const Tick lo = full.runtime / 5;
+    const Tick cut =
+        lo + deriveSeed(cfg.seed, salt) % (full.runtime * 3 / 5);
+
+    const std::string prefix =
+        scratch("equiv_" + cfg.mixName + "_" + policy);
+    RunResult sharded =
+        runPolicySharded(cfg, policy, kRestWatts, {cut}, prefix);
+    removeShards(prefix, 1);
+
+    EquivOutcome out;
+    out.label = cfg.mixName + "/" + policy;
+    out.cut = cut;
+    out.fullHash = hashRunResult(full);
+    out.shardedHash = hashRunResult(sharded);
+    out.fieldsEqual =
+        flattenRunResult(full) == flattenRunResult(sharded);
+    out.csvEqual = full.obs && sharded.obs &&
+                   full.obs->toCsv() == sharded.obs->toCsv();
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Serializer: container round-trips and rejection paths.
+// ---------------------------------------------------------------------
+
+TEST(Serializer, RoundTripTypedValues)
+{
+    SnapshotWriter w;
+    SectionWriter &s = w.section("vals");
+    s.u8(0xab);
+    s.u32(0xdeadbeef);
+    s.u64(0x0123456789abcdefull);
+    s.i64(-42);
+    s.f64(0.1);
+    s.f64(-0.0);
+    s.b(true);
+    s.b(false);
+    s.str("hello snapshot");
+    s.str("");
+
+    SnapshotReader r(w.serialize());
+    ASSERT_TRUE(r.has("vals"));
+    SectionReader v = r.section("vals");
+    EXPECT_EQ(v.u8(), 0xab);
+    EXPECT_EQ(v.u32(), 0xdeadbeefu);
+    EXPECT_EQ(v.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(v.i64(), -42);
+    EXPECT_EQ(v.f64(), 0.1);
+    double nz = v.f64();
+    EXPECT_EQ(nz, 0.0);
+    EXPECT_TRUE(std::signbit(nz));   // bit-pattern exact, -0.0 != +0.0
+    EXPECT_TRUE(v.b());
+    EXPECT_FALSE(v.b());
+    EXPECT_EQ(v.str(), "hello snapshot");
+    EXPECT_EQ(v.str(), "");
+    EXPECT_EQ(v.remaining(), 0u);
+}
+
+TEST(Serializer, SectionReopenAppends)
+{
+    SnapshotWriter w;
+    w.section("a").u32(1);
+    w.section("b").u32(2);
+    w.section("a").u32(3);   // reopen appends, no duplicate section
+
+    SnapshotReader r(w.serialize());
+    SectionReader a = r.section("a");
+    EXPECT_EQ(a.u32(), 1u);
+    EXPECT_EQ(a.u32(), 3u);
+    EXPECT_EQ(a.remaining(), 0u);
+    SectionReader b = r.section("b");
+    EXPECT_EQ(b.u32(), 2u);
+}
+
+TEST(Serializer, MissingSectionFatal)
+{
+    SnapshotWriter w;
+    w.section("present").u8(1);
+    SnapshotReader r(w.serialize());
+    EXPECT_FALSE(r.has("absent"));
+    EXPECT_THROW(r.section("absent"), FatalError);
+}
+
+TEST(Serializer, OverreadFatalNamesSection)
+{
+    SnapshotWriter w;
+    w.section("tiny").u8(7);
+    SnapshotReader r(w.serialize());
+    SectionReader t = r.section("tiny");
+    t.u8();
+    std::string msg = fatalMessage([&] { t.u64(); });
+    EXPECT_NE(msg.find("tiny"), std::string::npos) << msg;
+}
+
+TEST(Serializer, RejectsBadMagic)
+{
+    SnapshotWriter w;
+    w.section("s").u64(1);
+    std::vector<std::uint8_t> bytes = w.serialize();
+    bytes[0] ^= 0xff;
+    EXPECT_THROW(SnapshotReader r(std::move(bytes)), FatalError);
+}
+
+TEST(Serializer, RejectsUnsupportedVersion)
+{
+    SnapshotWriter w;
+    w.section("s").u64(1);
+    std::vector<std::uint8_t> bytes = w.serialize();
+    bytes[8] += 1;   // version field follows the 8-byte magic
+    EXPECT_THROW(SnapshotReader r(std::move(bytes)), FatalError);
+}
+
+TEST(Serializer, RejectsCorruptPayload)
+{
+    SnapshotWriter w;
+    w.section("s").str("payload payload payload");
+    std::vector<std::uint8_t> bytes = w.serialize();
+    bytes[bytes.size() - 9] ^= 0x01;   // inside the payload, before CRC
+    EXPECT_THROW(SnapshotReader r(std::move(bytes)), FatalError);
+}
+
+TEST(Serializer, RejectsTruncation)
+{
+    SnapshotWriter w;
+    w.section("s").u64(0x1122334455667788ull);
+    std::vector<std::uint8_t> whole = w.serialize();
+    // Every proper prefix must be rejected — there is no length at
+    // which a cut-off snapshot starts looking valid again.
+    for (std::size_t keep : {whole.size() - 1, whole.size() / 2,
+                             std::size_t(12), std::size_t(3)}) {
+        std::vector<std::uint8_t> cut(whole.begin(),
+                                      whole.begin() + keep);
+        EXPECT_THROW(SnapshotReader r(std::move(cut)), FatalError)
+            << "prefix of " << keep << " bytes accepted";
+    }
+}
+
+TEST(Serializer, RngRoundTrip)
+{
+    Rng rng(987654321);
+    for (int i = 0; i < 100; ++i)
+        rng.next();
+
+    SnapshotWriter w;
+    saveRng(w.section("rng"), rng);
+    std::vector<std::uint64_t> expect;
+    for (int i = 0; i < 32; ++i)
+        expect.push_back(rng.next());
+
+    Rng other(1);   // different seed: state must come from the snapshot
+    SnapshotReader r(w.serialize());
+    SectionReader s = r.section("rng");
+    restoreRng(s, other);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(other.next(), expect[i]) << "draw " << i;
+}
+
+TEST(Serializer, FileRoundTrip)
+{
+    const std::string path = scratch("file.snap");
+    SnapshotWriter w;
+    w.section("x").u64(42);
+    w.writeFile(path);
+    SnapshotReader r(path);
+    SectionReader x = r.section("x");
+    EXPECT_EQ(x.u64(), 42u);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(SnapshotReader gone("/nonexistent/no.snap"),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------------
+// ResumeEquivalence: the full mix x policy matrix.
+// ---------------------------------------------------------------------
+
+TEST(ResumeEquivalence, AllMixesMidRunCheckpoint)
+{
+    // Every Table-1 mix under MemScale, each cut at its own
+    // seeded-fuzz tick.  Fanned out on the sweep engine; checked on
+    // this thread.
+    const std::vector<MixSpec> &mixes = allMixes();
+    SweepEngine eng;
+    std::vector<EquivOutcome> outs = eng.map<EquivOutcome>(
+        mixes.size(), [&](std::size_t i) {
+            return checkResume(snapConfig(mixes[i].name), "memscale",
+                               i);
+        });
+    for (const EquivOutcome &o : outs) {
+        EXPECT_EQ(o.shardedHash, o.fullHash)
+            << o.label << " cut@" << o.cut;
+        EXPECT_TRUE(o.fieldsEqual) << o.label << " cut@" << o.cut;
+        EXPECT_TRUE(o.csvEqual) << o.label << " cut@" << o.cut;
+    }
+}
+
+TEST(ResumeEquivalence, AllPoliciesMidRunCheckpoint)
+{
+    // Every registered policy on MID3, plus the coordinated-DVFS
+    // research policy, each with its own fuzzed cut.  This is what
+    // forces saveState/restoreState coverage of per-policy state
+    // (slack trackers, per-channel decisions, CPU DVFS level).
+    std::vector<std::string> policies = policyNames();
+    policies.push_back("coscale");
+    SweepEngine eng;
+    std::vector<EquivOutcome> outs = eng.map<EquivOutcome>(
+        policies.size(), [&](std::size_t i) {
+            return checkResume(snapConfig("MID3"), policies[i],
+                               100 + i);
+        });
+    for (const EquivOutcome &o : outs) {
+        EXPECT_EQ(o.shardedHash, o.fullHash)
+            << o.label << " cut@" << o.cut;
+        EXPECT_TRUE(o.fieldsEqual) << o.label << " cut@" << o.cut;
+        EXPECT_TRUE(o.csvEqual) << o.label << " cut@" << o.cut;
+    }
+}
+
+TEST(ResumeEquivalence, ChainOfThreeCuts)
+{
+    // Shard -> resume -> shard -> resume -> shard -> finish: state
+    // must survive repeated serialization, not just one hop.
+    SystemConfig cfg = snapConfig("MEM2");
+    cfg.observe = true;
+    RunResult full = runPolicy(cfg, "memscale", kRestWatts);
+    const Tick r = full.runtime;
+    const std::string prefix = scratch("chain");
+    RunResult sharded = runPolicySharded(
+        cfg, "memscale", kRestWatts, {r / 4, r / 2, 3 * r / 4},
+        prefix);
+    removeShards(prefix, 3);
+    EXPECT_EQ(hashRunResult(sharded), hashRunResult(full));
+    EXPECT_EQ(flattenRunResult(sharded), flattenRunResult(full));
+    ASSERT_TRUE(full.obs && sharded.obs);
+    EXPECT_EQ(full.obs->toCsv(), sharded.obs->toCsv());
+}
+
+TEST(ResumeEquivalence, CheckpointWritersAreBehaviourFree)
+{
+    // A run that writes periodic checkpoints must be bit-identical to
+    // one that doesn't — the same contract observability has.  This
+    // is why the golden hashes survive checkpointing.
+    SystemConfig plain = snapConfig("MID1");
+    RunResult off = runPolicy(plain, "memscale", kRestWatts);
+
+    SystemConfig writing = snapConfig("MID1");
+    writing.snapshot.every = usToTick(50.0);
+    writing.snapshot.out = scratch("periodic");
+    RunResult on = runPolicy(writing, "memscale", kRestWatts);
+
+    EXPECT_EQ(hashRunResult(on), hashRunResult(off));
+    EXPECT_GE(on.checkpointsWritten.size(), 2u);
+    EXPECT_TRUE(off.checkpointsWritten.empty());
+    for (const std::string &p : on.checkpointsWritten)
+        std::remove(p.c_str());
+}
+
+TEST(ResumeEquivalence, SnapshotFilesAreDeterministic)
+{
+    // Two separate processes-worth of the same run must produce
+    // byte-identical snapshot files: the container holds no pointers,
+    // timestamps, or other environmental junk.  golden_bisect.py and
+    // the sweep thread-count test both stand on this.
+    auto snapBytes = [](const std::string &path) {
+        SystemConfig cfg = snapConfig("MID3");
+        cfg.snapshot.at = msToTick(0.15);
+        cfg.snapshot.stopAfter = true;
+        cfg.snapshot.out = path;
+        runPolicy(cfg, "memscale", kRestWatts);
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr);
+        std::string bytes;
+        char buf[4096];
+        std::size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.append(buf, got);
+        std::fclose(f);
+        std::remove(path.c_str());
+        return bytes;
+    };
+    std::string a = snapBytes(scratch("det_a.snap"));
+    std::string b = snapBytes(scratch("det_b.snap"));
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(ResumeEquivalence, ResumeRejectsMismatchedConfig)
+{
+    // A snapshot resumed under a different scenario is a silent-wrong
+    // result factory; the meta fingerprint must catch it loudly.
+    const std::string path = scratch("mismatch.snap");
+    SystemConfig cfg = snapConfig("MID3");
+    cfg.snapshot.at = msToTick(0.1);
+    cfg.snapshot.stopAfter = true;
+    cfg.snapshot.out = path;
+    runPolicy(cfg, "memscale", kRestWatts);
+
+    auto resume = [&](SystemConfig rcfg, const std::string &policy) {
+        rcfg.snapshot = {};
+        rcfg.snapshot.resumePath = path;
+        return fatalMessage(
+            [&] { runPolicy(rcfg, policy, kRestWatts); });
+    };
+
+    EXPECT_EQ(resume(snapConfig("MID3"), "memscale"), "");
+
+    std::string msg = resume(snapConfig("MID2"), "memscale");
+    EXPECT_NE(msg.find("mix"), std::string::npos) << msg;
+
+    msg = resume(snapConfig("MID3"), "static");
+    EXPECT_NE(msg.find("policy"), std::string::npos) << msg;
+
+    SystemConfig fewer = snapConfig("MID3");
+    fewer.numCores = 8;
+    msg = resume(fewer, "memscale");
+    EXPECT_NE(msg.find("numCores"), std::string::npos) << msg;
+
+    SystemConfig reseeded = snapConfig("MID3");
+    reseeded.seed = 777;
+    EXPECT_NE(resume(reseeded, "memscale"), "");
+
+    std::remove(path.c_str());
+}
+
+TEST(ResumeEquivalence, ResumeRejectsCorruptSnapshot)
+{
+    const std::string path = scratch("corrupt.snap");
+    SystemConfig cfg = snapConfig("MID1");
+    cfg.snapshot.at = msToTick(0.1);
+    cfg.snapshot.stopAfter = true;
+    cfg.snapshot.out = path;
+    runPolicy(cfg, "memscale", kRestWatts);
+
+    // Flip one byte in the middle of the file: CRC must refuse it.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0x20, f);
+    std::fclose(f);
+
+    SystemConfig rcfg = snapConfig("MID1");
+    rcfg.snapshot.resumePath = path;
+    EXPECT_THROW(runPolicy(rcfg, "memscale", kRestWatts), FatalError);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Churn: checkpoints at deliberately awkward instants.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Cut a protocol-checked run at `cut`, return the snapshot's meta
+ * block, and leave the snapshot at `path` for the caller to resume.
+ */
+SnapshotMeta
+cutCheckedRun(const SystemConfig &base, const std::string &policy,
+              Tick cut, const std::string &path)
+{
+    SystemConfig cfg = base;
+    cfg.protocolCheck = true;
+    cfg.snapshot.at = cut;
+    cfg.snapshot.stopAfter = true;
+    cfg.snapshot.out = path;
+    RunResult r = runPolicy(cfg, policy, kRestWatts);
+    EXPECT_TRUE(r.stoppedAtCheckpoint);
+    return readSnapshotMeta(path);
+}
+
+/**
+ * Resume `path` under the strict checker (first violation is fatal)
+ * and require the result to be bit-identical to the uninterrupted
+ * protocol-checked run.
+ */
+void
+expectCleanResume(const SystemConfig &base, const std::string &policy,
+                  const std::string &path)
+{
+    SystemConfig rcfg = base;
+    rcfg.protocolCheck = true;
+    rcfg.strictCheck = true;
+    rcfg.snapshot.resumePath = path;
+    RunResult resumed = runPolicy(rcfg, policy, kRestWatts);
+    EXPECT_EQ(resumed.protocolViolations, 0u);
+
+    SystemConfig fcfg = base;
+    fcfg.protocolCheck = true;
+    RunResult full = runPolicy(fcfg, policy, kRestWatts);
+    EXPECT_EQ(hashRunResult(resumed), hashRunResult(full));
+    EXPECT_EQ(resumed.commandsChecked, full.commandsChecked);
+}
+
+} // namespace
+
+TEST(SnapshotChurn, MidFrequencyRelock)
+{
+    // MemScale's first frequency decision lands exactly at
+    // profile-end (10 us); the DLL relock stall lasts ~0.67 us, so a
+    // cut 100 ns in catches all four channels mid-transition with
+    // their ranks forced into powerdown.
+    const std::string path = scratch("relock.snap");
+    SnapshotMeta m = cutCheckedRun(snapConfig("MID3"), "memscale",
+                                   usToTick(10.0) + 100'000, path);
+    EXPECT_GT(m.pendingRelocks, 0u);
+    EXPECT_GT(m.ranksPoweredDown, 0u);
+    expectCleanResume(snapConfig("MID3"), "memscale", path);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotChurn, MidRefresh)
+{
+    // At 0.15 ms several staggered auto-refreshes are in flight
+    // (tRFC windows open, EvChanRefreshDone pending) alongside live
+    // requests.
+    const std::string path = scratch("refresh.snap");
+    SnapshotMeta m = cutCheckedRun(snapConfig("MID3"), "memscale",
+                                   msToTick(0.15), path);
+    EXPECT_GT(m.pendingRefreshes, 0u);
+    EXPECT_GT(m.inFlightRequests, 0u);
+    expectCleanResume(snapConfig("MID3"), "memscale", path);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotChurn, RanksPoweredDown)
+{
+    // An ILP mix under the fast-exit powerdown policy idles almost
+    // every rank; the snapshot must capture and re-establish the
+    // powerdown states and their exit latencies.
+    const std::string path = scratch("powerdown.snap");
+    SnapshotMeta m = cutCheckedRun(snapConfig("ILP1"), "fastpd",
+                                   msToTick(0.07), path);
+    EXPECT_GT(m.ranksPoweredDown, 0u);
+    expectCleanResume(snapConfig("ILP1"), "fastpd", path);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotChurn, SelfRefreshPowerdown)
+{
+    // Same, for the self-refresh idle state (srpd) whose exit path
+    // interacts with the refresh schedule.
+    const std::string path = scratch("srpd.snap");
+    cutCheckedRun(snapConfig("MID3"), "srpd", msToTick(0.15), path);
+    expectCleanResume(snapConfig("MID3"), "srpd", path);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotChurn, InsideProfileWindow)
+{
+    // Cut inside the second epoch's profiling window (profile runs
+    // for the first 10 us of each 100 us epoch).  The profiling
+    // counter deltas the policy will read at profile-end must restore
+    // exactly, or the first post-resume frequency decision — and
+    // everything after it — diverges.
+    SystemConfig cfg = snapConfig("MID3");
+    cfg.observe = true;
+    RunResult full = runPolicy(cfg, "memscale", kRestWatts);
+    const Tick cut = msToTick(0.1) + usToTick(5.0);
+    ASSERT_LT(cut, full.runtime);
+    const std::string prefix = scratch("profile");
+    RunResult sharded =
+        runPolicySharded(cfg, "memscale", kRestWatts, {cut}, prefix);
+    removeShards(prefix, 1);
+    EXPECT_EQ(hashRunResult(sharded), hashRunResult(full));
+    ASSERT_TRUE(full.obs && sharded.obs);
+    EXPECT_EQ(full.obs->toCsv(), sharded.obs->toCsv());
+}
+
+TEST(SnapshotChurn, MetaMatchesRun)
+{
+    const std::string path = scratch("meta.snap");
+    SystemConfig cfg = snapConfig("MEM4");
+    cfg.snapshot.at = msToTick(0.12);
+    cfg.snapshot.stopAfter = true;
+    cfg.snapshot.out = path;
+    RunResult r = runPolicy(cfg, "memscale", kRestWatts);
+    ASSERT_TRUE(r.stoppedAtCheckpoint);
+    ASSERT_EQ(r.checkpointsWritten.size(), 1u);
+    EXPECT_EQ(r.checkpointsWritten[0], path);
+
+    SnapshotMeta m = readSnapshotMeta(path);
+    EXPECT_EQ(m.mixName, "MEM4");
+    EXPECT_EQ(m.policyName, "memscale");
+    EXPECT_EQ(m.now, msToTick(0.12));
+    EXPECT_EQ(m.doneCores, 0u);
+    EXPECT_GT(m.pendingEvents, 0u);
+    std::remove(path.c_str());
+}

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/log.hh"
@@ -190,6 +192,76 @@ TEST(SweepEngine, ObservabilityExportsAreJobCountInvariant)
     ASSERT_EQ(serial.size(), parallel.size());
     for (std::size_t i = 0; i < serial.size(); ++i)
         EXPECT_EQ(serial[i], parallel[i]) << "export " << i;
+}
+
+TEST(SweepEngine, ShardedRunsAreThreadCountInvariant)
+{
+    // Time-sharding through the sweep engine: each task runs its mix
+    // as a chain of three checkpoints (shard -> resume -> ... ->
+    // finish).  The final result hash must match the unsharded run,
+    // and — because snapshots contain nothing environmental — the
+    // intermediate snapshot *files* must be byte-identical whether
+    // the sweep ran on one worker or eight.
+    const std::vector<std::string> mixes = {"ILP1", "MID2", "MEM2"};
+    auto readAll = [](const std::string &path) {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr) << path;
+        std::string bytes;
+        char buf[4096];
+        std::size_t got;
+        while (f && (got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.append(buf, got);
+        if (f)
+            std::fclose(f);
+        return bytes;
+    };
+    struct ShardOut
+    {
+        std::uint64_t finalHash = 0;
+        std::vector<std::string> shardBytes;
+    };
+    auto sweep = [&](unsigned jobs) {
+        SweepEngine eng(jobs);
+        return eng.map<ShardOut>(mixes.size(), [&](std::size_t i) {
+            SystemConfig cfg = tinyConfig(mixes[i]);
+            RunResult full = runPolicy(cfg, "memscale", 150.0);
+            const Tick r = full.runtime;
+            const std::string prefix =
+                "/tmp/memscale_test_sweep_shard_" + mixes[i] + "_j" +
+                std::to_string(jobs);
+            RunResult sharded =
+                runPolicySharded(cfg, "memscale", 150.0,
+                                 {r / 4, r / 2, 3 * r / 4}, prefix);
+            ShardOut out;
+            out.finalHash = hashRunResult(sharded);
+            EXPECT_EQ(out.finalHash, hashRunResult(full))
+                << mixes[i];
+            for (int s = 0; s < 3; ++s) {
+                std::string path =
+                    prefix + ".shard" + std::to_string(s);
+                out.shardBytes.push_back(readAll(path));
+                std::remove(path.c_str());
+            }
+            return out;
+        });
+    };
+    std::vector<ShardOut> serial = sweep(1);
+    std::vector<ShardOut> parallel = sweep(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].finalHash, parallel[i].finalHash)
+            << mixes[i];
+        ASSERT_EQ(serial[i].shardBytes.size(),
+                  parallel[i].shardBytes.size());
+        for (std::size_t s = 0; s < serial[i].shardBytes.size(); ++s) {
+            EXPECT_FALSE(serial[i].shardBytes[s].empty())
+                << mixes[i] << " shard " << s;
+            EXPECT_EQ(serial[i].shardBytes[s],
+                      parallel[i].shardBytes[s])
+                << mixes[i] << " shard " << s << " differs by "
+                << "thread count";
+        }
+    }
 }
 
 TEST(SweepEngine, Oversubscription)

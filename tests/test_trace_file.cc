@@ -143,3 +143,129 @@ TEST(TraceFile, MissingFileFatal)
     EXPECT_THROW(TraceFileSource src("/nonexistent/nope.trc"),
                  FatalError);
 }
+
+namespace
+{
+
+/** The FatalError message for an action, or "" if none was thrown. */
+template <typename Fn>
+std::string
+fatalMessage(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const FatalError &e) {
+        return e.message;
+    }
+    return "";
+}
+
+/** Record a two-chunk trace, then chop the file to `keep` bytes. */
+std::string
+truncatedTrace(const char *name, long keep)
+{
+    std::string path = tempPath(name);
+    VectorSource src;
+    src.chunks.push_back(mk(1, 0x40));
+    src.chunks.push_back(mk(2, 0x80));
+    {
+        TraceRecorder rec(src, path);
+        TraceChunk c;
+        while (rec.next(c)) {
+        }
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::string data(static_cast<std::size_t>(keep), '\0');
+    EXPECT_EQ(std::fread(data.data(), 1, data.size(), f),
+              data.size());
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+} // namespace
+
+TEST(TraceFile, TruncatedHeaderFatal)
+{
+    // A valid magic that stops mid-header must be reported as
+    // truncation, not as "not a trace".
+    std::string path = truncatedTrace("shorthdr", 10);
+    std::string msg =
+        fatalMessage([&] { TraceFileSource src(path); });
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, BadMagicNamedInError)
+{
+    std::string path = tempPath("badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("0123456789abcdefpadpadpad", f);   // 16+ bytes
+    std::fclose(f);
+    std::string msg =
+        fatalMessage([&] { TraceFileSource src(path); });
+    EXPECT_NE(msg.find("bad magic"), std::string::npos) << msg;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, UnsupportedVersionFatal)
+{
+    std::string path = tempPath("version");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::uint64_t magic = traceFileMagic;
+    std::uint32_t version = traceFileVersion + 7, reserved = 0;
+    std::fwrite(&magic, sizeof(magic), 1, f);
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fwrite(&reserved, sizeof(reserved), 1, f);
+    std::fclose(f);
+    std::string msg =
+        fatalMessage([&] { TraceFileSource src(path); });
+    EXPECT_NE(msg.find("unsupported version"), std::string::npos)
+        << msg;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedMidRecordFatal)
+{
+    // Header + first record + half the second record: the good record
+    // replays, then the partial one is a diagnosed error — never a
+    // silent early end of the workload.
+    const long keep = 16 + static_cast<long>(sizeof(TraceFileRecord)) +
+                      static_cast<long>(sizeof(TraceFileRecord)) / 2;
+    std::string path = truncatedTrace("midrec", keep);
+    TraceFileSource replay(path);
+    TraceChunk c;
+    ASSERT_TRUE(replay.next(c));
+    EXPECT_EQ(c.instructions, 1u);
+    std::string msg = fatalMessage([&] { replay.next(c); });
+    EXPECT_NE(msg.find("truncated mid-record"), std::string::npos)
+        << msg;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncationFatalInLoopModeToo)
+{
+    const long keep = 16 + static_cast<long>(sizeof(TraceFileRecord)) +
+                      4;
+    std::string path = truncatedTrace("midrecloop", keep);
+    TraceFileSource replay(path, true);
+    TraceChunk c;
+    ASSERT_TRUE(replay.next(c));
+    EXPECT_THROW(replay.next(c), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTraceEndsCleanly)
+{
+    // A header-only file is a valid, zero-length trace: next() is
+    // false in both modes, with no error.
+    std::string path = truncatedTrace("empty", 16);
+    TraceChunk c;
+    TraceFileSource once(path);
+    EXPECT_FALSE(once.next(c));
+    TraceFileSource looped(path, true);
+    EXPECT_FALSE(looped.next(c));
+    std::remove(path.c_str());
+}
