@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "check/protocol_checker.hh"
 #include "cpu/core.hh"
 #include "harness/sweep.hh"
 #include "harness/system.hh"
@@ -18,6 +19,7 @@
 #include "mem/controller.hh"
 #include "memscale/policies/policy.hh"
 #include "sim/event_queue.hh"
+#include "sim/weave.hh"
 #include "workload/mixes.hh"
 #include "workload/trace_source.hh"
 
@@ -206,6 +208,98 @@ BM_FullSystem(benchmark::State &state)
         static_cast<std::int64_t>(cfg.instrBudget * cores));
 }
 BENCHMARK(BM_FullSystem);
+
+/**
+ * End-to-end run under the bound/weave kernel on an 8-channel system;
+ * the thread-count argument is the ISSUE's speedup gate (serial vs 4
+ * workers).  Results are bit-identical at every arg by construction
+ * (test_parallel_kernel pins it); only wall-clock should move.
+ */
+void
+BM_FullSystemThreads(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.mixName = "MID1";
+    cfg.instrBudget = 100000;
+    cfg.epochLen = msToTick(0.25);
+    cfg.profileLen = usToTick(25.0);
+    cfg.mem.numChannels = 8;
+    cfg.threads = static_cast<unsigned>(state.range(0));
+    std::uint64_t cores = 0;
+    for (auto _ : state) {
+        auto policy = makePolicy("memscale");
+        System sys(cfg, *policy);
+        RunResult r = sys.run();
+        cores = r.coreCpi.size();
+        benchmark::DoNotOptimize(r.runtime);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(cfg.instrBudget * cores));
+}
+BENCHMARK(BM_FullSystemThreads)->Arg(1)->Arg(4);
+
+/**
+ * The two phases of the weave kernel in isolation, on one channel's
+ * worth of traffic with the protocol checker attached (the dominant
+ * deferred consumer).  BoundPhase times request service with command
+ * validation deferred into the weave shards (draining them untimed);
+ * WeavePhase times only the shard drain (replay into the checker +
+ * rank-residency integration), i.e. the work a barrier hands to each
+ * worker.  Together they bound the per-channel parallel speedup the
+ * full-system numbers can reach.
+ */
+constexpr int kWeaveBenchRequests = 5000;
+
+void
+weavePhases(benchmark::State &state, bool time_bound)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue eq;
+        MemConfig cfg;
+        MemoryController mc(eq, cfg);
+        ProtocolChecker checker(false);
+        mc.setCommandObserver(&checker);
+        WeaveHub hub;
+        mc.attachWeave(&hub);
+        std::uint64_t done = 0;
+        FnClient client([&done](Tick) { ++done; });
+        auto bound = [&] {
+            for (int i = 0; i < kWeaveBenchRequests; ++i)
+                mc.read(static_cast<Addr>(i) * 64 * 97, 0, &client);
+            eq.runUntil();
+        };
+        if (time_bound) {
+            state.ResumeTiming();
+            bound();
+            state.PauseTiming();
+            hub.barrier();
+            state.ResumeTiming();
+        } else {
+            bound();
+            state.ResumeTiming();
+            hub.barrier();
+            benchmark::DoNotOptimize(checker.commandsChecked());
+        }
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * kWeaveBenchRequests);
+}
+
+void
+BM_BoundPhase(benchmark::State &state)
+{
+    weavePhases(state, true);
+}
+BENCHMARK(BM_BoundPhase);
+
+void
+BM_WeavePhase(benchmark::State &state)
+{
+    weavePhases(state, false);
+}
+BENCHMARK(BM_WeavePhase);
 
 } // namespace
 

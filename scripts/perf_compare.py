@@ -14,6 +14,12 @@ median: benchmarks only ever run slower under interference, so the
 best repetition is the least noisy estimator and biases the gate
 against false alarms rather than against real regressions.
 
+Parameterized benchmarks are keyed by their full run name, so the
+bound/weave kernel's thread-count sweep (BM_FullSystemThreads/1,
+BM_FullSystemThreads/4, ...) gets an independent baseline entry per
+thread count — a regression in the parallel path can't hide behind a
+fast serial run or vice versa.
+
 Regenerating the baseline after an intentional perf change (the perf
 analogue of MEMSCALE_REGEN_GOLDENS, see README "Validating a change"):
 

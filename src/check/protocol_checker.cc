@@ -149,8 +149,8 @@ ProtocolChecker::onTimingChange(std::uint32_t ch, Tick effective,
 }
 
 void
-ProtocolChecker::record(const DramCmdEvent &ev, const char *rule,
-                        std::string detail)
+ProtocolChecker::record(ChannelState &cs, const DramCmdEvent &ev,
+                        const char *rule, std::string detail)
 {
     ProtocolViolation v;
     v.rule = rule;
@@ -160,11 +160,52 @@ ProtocolChecker::record(const DramCmdEvent &ev, const char *rule,
     v.bank = ev.bank;
     v.cmd = ev.cmd;
     v.detail = std::move(detail);
-    ++violations_;
-    if (samples_.size() < MaxSamples)
-        samples_.push_back(v);
+    ++cs.violations;
+    if (cs.samples.size() < MaxSamples)
+        cs.samples.push_back(v);
     if (strict_)
         fatal("MEMSCALE_STRICT: %s", v.str().c_str());
+}
+
+std::uint64_t
+ProtocolChecker::violations() const
+{
+    std::uint64_t n = 0;
+    for (const ChannelState &cs : channels_)
+        n += cs.violations;
+    return n;
+}
+
+std::uint64_t
+ProtocolChecker::commandsChecked() const
+{
+    std::uint64_t n = 0;
+    for (const ChannelState &cs : channels_)
+        n += cs.commands;
+    return n;
+}
+
+std::uint64_t
+ProtocolChecker::relocksSeen() const
+{
+    std::uint64_t n = 0;
+    for (const ChannelState &cs : channels_)
+        n += cs.relockCount;
+    return n;
+}
+
+const std::vector<ProtocolViolation> &
+ProtocolChecker::samples() const
+{
+    mergedSamples_.clear();
+    for (const ChannelState &cs : channels_) {
+        for (const ProtocolViolation &v : cs.samples) {
+            if (mergedSamples_.size() == MaxSamples)
+                return mergedSamples_;
+            mergedSamples_.push_back(v);
+        }
+    }
+    return mergedSamples_;
 }
 
 void
@@ -173,7 +214,7 @@ ProtocolChecker::checkWindows(const DramCmdEvent &ev, ChannelState &cs,
 {
     for (const auto &[s, e] : cs.relocks) {
         if (ev.at >= s && ev.at < e) {
-            record(ev, "relock-window",
+            record(cs, ev, "relock-window",
                    format("command inside re-lock quiescence "
                           "[%llu, %llu)",
                           static_cast<unsigned long long>(s),
@@ -183,7 +224,7 @@ ProtocolChecker::checkWindows(const DramCmdEvent &ev, ChannelState &cs,
     }
     for (const auto &[s, e] : rs.refreshes) {
         if (ev.at >= s && ev.at < e) {
-            record(ev, "refresh-window",
+            record(cs, ev, "refresh-window",
                    format("command inside refresh busy window "
                           "[%llu, %llu)",
                           static_cast<unsigned long long>(s),
@@ -192,12 +233,12 @@ ProtocolChecker::checkWindows(const DramCmdEvent &ev, ChannelState &cs,
         }
     }
     if (rs.pdEnter != MaxTick && ev.at >= rs.pdEnter) {
-        record(ev, "powerdown",
+        record(cs, ev, "powerdown",
                format("command while CKE low (since tick %llu, no "
                       "exit announced)",
                       static_cast<unsigned long long>(rs.pdEnter)));
     } else if (data_cmd && ev.at < rs.pdReady) {
-        record(ev, "powerdown-exit",
+        record(cs, ev, "powerdown-exit",
                format("command %llu ticks before powerdown exit "
                       "latency elapses (ready at %llu)",
                       static_cast<unsigned long long>(rs.pdReady -
@@ -216,18 +257,18 @@ ProtocolChecker::checkAct(const DramCmdEvent &ev, ChannelState &cs)
     checkWindows(ev, cs, rs, true);
 
     if (bs.cmdSeen && ev.at < bs.lastCmd) {
-        record(ev, "command-order",
+        record(cs, ev, "command-order",
                format("per-bank command stream regressed (last "
                       "command at %llu)",
                       static_cast<unsigned long long>(bs.lastCmd)));
     }
     if (bs.open) {
-        record(ev, "act-on-open-bank",
+        record(cs, ev, "act-on-open-bank",
                format("row %llu still open (no intervening precharge)",
                       static_cast<unsigned long long>(bs.row)));
     }
     if (bs.preSeen && ev.at < bs.lastPreDone) {
-        record(ev, "tRP",
+        record(cs, ev, "tRP",
                format("activate %llu ticks before precharge completes "
                       "at %llu",
                       static_cast<unsigned long long>(bs.lastPreDone -
@@ -235,7 +276,7 @@ ProtocolChecker::checkAct(const DramCmdEvent &ev, ChannelState &cs)
                       static_cast<unsigned long long>(bs.lastPreDone)));
     }
     if (bs.actSeen && ev.at < bs.lastAct + tp.tRC()) {
-        record(ev, "tRC",
+        record(cs, ev, "tRC",
                format("activate-to-activate gap %llu < tRC %llu",
                       static_cast<unsigned long long>(ev.at -
                                                       bs.lastAct),
@@ -250,7 +291,7 @@ ProtocolChecker::checkAct(const DramCmdEvent &ev, ChannelState &cs)
     std::size_t i = static_cast<std::size_t>(pos - acts.begin());
     acts.insert(pos, ev.at);
     if (i > 0 && ev.at - acts[i - 1] < tp.tRRD) {
-        record(ev, "tRRD",
+        record(cs, ev, "tRRD",
                format("activate %llu ticks after previous rank "
                       "activate (tRRD %llu)",
                       static_cast<unsigned long long>(ev.at -
@@ -258,7 +299,7 @@ ProtocolChecker::checkAct(const DramCmdEvent &ev, ChannelState &cs)
                       static_cast<unsigned long long>(tp.tRRD)));
     }
     if (i + 1 < acts.size() && acts[i + 1] - ev.at < tp.tRRD) {
-        record(ev, "tRRD",
+        record(cs, ev, "tRRD",
                format("activate %llu ticks before next rank activate "
                       "(tRRD %llu)",
                       static_cast<unsigned long long>(acts[i + 1] -
@@ -268,7 +309,7 @@ ProtocolChecker::checkAct(const DramCmdEvent &ev, ChannelState &cs)
     for (std::size_t j = std::max<std::size_t>(i, 4);
          j < acts.size() && j <= i + 4; ++j) {
         if (acts[j] - acts[j - 4] < tp.tFAW) {
-            record(ev, "tFAW",
+            record(cs, ev, "tFAW",
                    format("5 activates within %llu ticks (tFAW %llu)",
                           static_cast<unsigned long long>(
                               acts[j] - acts[j - 4]),
@@ -303,13 +344,13 @@ ProtocolChecker::checkPre(const DramCmdEvent &ev, ChannelState &cs)
     checkWindows(ev, cs, rs, false);
 
     if (bs.cmdSeen && ev.at < bs.lastCmd) {
-        record(ev, "command-order",
+        record(cs, ev, "command-order",
                format("per-bank command stream regressed (last "
                       "command at %llu)",
                       static_cast<unsigned long long>(bs.lastCmd)));
     }
     if (bs.open && bs.actSeen && ev.at < bs.lastAct + tp.tRAS) {
-        record(ev, "tRAS",
+        record(cs, ev, "tRAS",
                format("precharge %llu ticks after activate (tRAS "
                       "%llu)",
                       static_cast<unsigned long long>(ev.at -
@@ -317,7 +358,7 @@ ProtocolChecker::checkPre(const DramCmdEvent &ev, ChannelState &cs)
                       static_cast<unsigned long long>(tp.tRAS)));
     }
     if (ev.doneAt < ev.at + tp.tRP) {
-        record(ev, "tRP",
+        record(cs, ev, "tRP",
                format("precharge window %llu < tRP %llu",
                       static_cast<unsigned long long>(ev.doneAt -
                                                       ev.at),
@@ -341,21 +382,21 @@ ProtocolChecker::checkColumn(const DramCmdEvent &ev, ChannelState &cs)
     checkWindows(ev, cs, rs, true);
 
     if (bs.cmdSeen && ev.at < bs.lastCmd) {
-        record(ev, "command-order",
+        record(cs, ev, "command-order",
                format("per-bank command stream regressed (last "
                       "command at %llu)",
                       static_cast<unsigned long long>(bs.lastCmd)));
     }
     if (!bs.open) {
-        record(ev, "cas-closed-bank",
+        record(cs, ev, "cas-closed-bank",
                "column access with no row open");
     } else if (bs.row != ev.row) {
-        record(ev, "cas-row-mismatch",
+        record(cs, ev, "cas-row-mismatch",
                format("column access to row %llu but row %llu is open",
                       static_cast<unsigned long long>(ev.row),
                       static_cast<unsigned long long>(bs.row)));
     } else if (bs.actSeen && ev.at < bs.lastAct + tp.tRCD) {
-        record(ev, "tRCD",
+        record(cs, ev, "tRCD",
                format("column access %llu ticks after activate (tRCD "
                       "%llu)",
                       static_cast<unsigned long long>(ev.at -
@@ -366,7 +407,7 @@ ProtocolChecker::checkColumn(const DramCmdEvent &ev, ChannelState &cs)
     // Data-bus stage: tCL before data, burst length per the params in
     // effect at the burst, and no overlap on the shared bus.
     if (ev.burstStart < ev.at + tp.tCL) {
-        record(ev, "tCL",
+        record(cs, ev, "tCL",
                format("burst starts %llu ticks after CAS (tCL %llu)",
                       static_cast<unsigned long long>(ev.burstStart -
                                                       ev.at),
@@ -374,14 +415,14 @@ ProtocolChecker::checkColumn(const DramCmdEvent &ev, ChannelState &cs)
     }
     const TimingParams &btp = paramsAt(cs, ev.burstStart);
     if (ev.burstEnd - ev.burstStart != btp.tBURST) {
-        record(ev, "burst-length",
+        record(cs, ev, "burst-length",
                format("burst %llu ticks, expected tBURST %llu",
                       static_cast<unsigned long long>(ev.burstEnd -
                                                       ev.burstStart),
                       static_cast<unsigned long long>(btp.tBURST)));
     }
     if (ev.burstStart < cs.lastBurstEnd) {
-        record(ev, "bus-overlap",
+        record(cs, ev, "bus-overlap",
                format("burst starts %llu ticks before the previous "
                       "burst drains at %llu",
                       static_cast<unsigned long long>(cs.lastBurstEnd -
@@ -404,7 +445,7 @@ ProtocolChecker::checkRefresh(const DramCmdEvent &ev, ChannelState &cs)
     // cleared its powerdown-exit latency.
     for (const auto &[s, e] : cs.relocks) {
         if (ev.at >= s && ev.at < e) {
-            record(ev, "relock-window",
+            record(cs, ev, "relock-window",
                    format("refresh inside re-lock quiescence "
                           "[%llu, %llu)",
                           static_cast<unsigned long long>(s),
@@ -413,17 +454,17 @@ ProtocolChecker::checkRefresh(const DramCmdEvent &ev, ChannelState &cs)
         }
     }
     if (rs.pdEnter != MaxTick && ev.at >= rs.pdEnter) {
-        record(ev, "powerdown",
+        record(cs, ev, "powerdown",
                format("refresh while CKE low (since tick %llu)",
                       static_cast<unsigned long long>(rs.pdEnter)));
     } else if (ev.at < rs.pdReady) {
-        record(ev, "powerdown-exit",
+        record(cs, ev, "powerdown-exit",
                format("refresh before powerdown exit latency elapses "
                       "(ready at %llu)",
                       static_cast<unsigned long long>(rs.pdReady)));
     }
     if (ev.doneAt < ev.at + tp.tRFC) {
-        record(ev, "tRFC",
+        record(cs, ev, "tRFC",
                format("refresh busy window %llu < tRFC %llu",
                       static_cast<unsigned long long>(ev.doneAt -
                                                       ev.at),
@@ -433,7 +474,7 @@ ProtocolChecker::checkRefresh(const DramCmdEvent &ev, ChannelState &cs)
     // new busy window.
     for (Tick a : rs.acts) {
         if (a >= ev.at && a < ev.doneAt) {
-            record(ev, "refresh-window",
+            record(cs, ev, "refresh-window",
                    format("activate at %llu inside refresh busy "
                           "window [%llu, %llu)",
                           static_cast<unsigned long long>(a),
@@ -445,7 +486,7 @@ ProtocolChecker::checkRefresh(const DramCmdEvent &ev, ChannelState &cs)
     if (rs.refreshSeen && !rs.selfRefreshSinceRefresh &&
         ev.at > rs.lastRefreshStart +
                     RefreshStarvationREFIs * tp.tREFI) {
-        record(ev, "refresh-starvation",
+        record(cs, ev, "refresh-starvation",
                format("gap since previous refresh %llu > %llu tREFI",
                       static_cast<unsigned long long>(
                           ev.at - rs.lastRefreshStart),
@@ -463,8 +504,8 @@ ProtocolChecker::checkRefresh(const DramCmdEvent &ev, ChannelState &cs)
 void
 ProtocolChecker::onCommand(const DramCmdEvent &ev)
 {
-    ++commands_;
     ChannelState &cs = chan(ev.channel);
+    ++cs.commands;
     switch (ev.cmd) {
       case DramCmd::Act:
         checkAct(ev, cs);
@@ -493,14 +534,14 @@ ProtocolChecker::onCommand(const DramCmdEvent &ev)
         break;
       }
       case DramCmd::Relock: {
-        ++relocks_;
+        ++cs.relockCount;
         cs.relocks.emplace_back(ev.at, ev.doneAt);
         if (cs.relocks.size() > MaxRelockWindows)
             cs.relocks.erase(cs.relocks.begin());
         for (RankState &rs : cs.ranks) {
             for (Tick a : rs.acts) {
                 if (a >= ev.at && a < ev.doneAt) {
-                    record(ev, "relock-window",
+                    record(cs, ev, "relock-window",
                            format("activate at %llu inside re-lock "
                                   "quiescence [%llu, %llu)",
                                   static_cast<unsigned long long>(a),
@@ -520,21 +561,21 @@ ProtocolChecker::onCommand(const DramCmdEvent &ev)
 void
 ProtocolChecker::saveState(SectionWriter &w) const
 {
-    w.u64(violations_);
-    w.u64(commands_);
-    w.u64(relocks_);
-    w.u32(static_cast<std::uint32_t>(samples_.size()));
-    for (const ProtocolViolation &v : samples_) {
-        w.str(v.rule);
-        w.u64(v.at);
-        w.u32(v.channel);
-        w.u32(v.rank);
-        w.u32(v.bank);
-        w.u8(static_cast<std::uint8_t>(v.cmd));
-        w.str(v.detail);
-    }
     w.u32(static_cast<std::uint32_t>(channels_.size()));
     for (const ChannelState &cs : channels_) {
+        w.u64(cs.violations);
+        w.u64(cs.commands);
+        w.u64(cs.relockCount);
+        w.u32(static_cast<std::uint32_t>(cs.samples.size()));
+        for (const ProtocolViolation &v : cs.samples) {
+            w.str(v.rule);
+            w.u64(v.at);
+            w.u32(v.channel);
+            w.u32(v.rank);
+            w.u32(v.bank);
+            w.u8(static_cast<std::uint8_t>(v.cmd));
+            w.str(v.detail);
+        }
         w.u32(static_cast<std::uint32_t>(cs.timings.size()));
         for (const auto &tpair : cs.timings) {
             w.u64(tpair.first);
@@ -579,21 +620,21 @@ ProtocolChecker::saveState(SectionWriter &w) const
 void
 ProtocolChecker::restoreState(SectionReader &r)
 {
-    violations_ = r.u64();
-    commands_ = r.u64();
-    relocks_ = r.u64();
-    samples_.assign(r.u32(), ProtocolViolation{});
-    for (ProtocolViolation &v : samples_) {
-        v.rule = r.str();
-        v.at = r.u64();
-        v.channel = r.u32();
-        v.rank = r.u32();
-        v.bank = r.u32();
-        v.cmd = static_cast<DramCmd>(r.u8());
-        v.detail = r.str();
-    }
     channels_.assign(r.u32(), ChannelState{});
     for (ChannelState &cs : channels_) {
+        cs.violations = r.u64();
+        cs.commands = r.u64();
+        cs.relockCount = r.u64();
+        cs.samples.assign(r.u32(), ProtocolViolation{});
+        for (ProtocolViolation &v : cs.samples) {
+            v.rule = r.str();
+            v.at = r.u64();
+            v.channel = r.u32();
+            v.rank = r.u32();
+            v.bank = r.u32();
+            v.cmd = static_cast<DramCmd>(r.u8());
+            v.detail = r.str();
+        }
         cs.timings.assign(r.u32(),
                           std::pair<Tick, TimingParams>{0, {}});
         for (auto &tpair : cs.timings) {

@@ -118,6 +118,10 @@ RankActivity::restoreState(SectionReader &r)
 void
 Rank::saveState(SectionWriter &w) const
 {
+    if (!deferLog_.empty())
+        panic("Rank: saveState with %zu undrained deferred "
+              "transitions; weave barrier missing",
+              deferLog_.size());
     activity_.saveState(w);
     w.u64(lastUpdate_);
     w.u32(openBanks_);
@@ -148,7 +152,8 @@ Rank::restoreState(SectionReader &r)
 }
 
 void
-Rank::sync(Tick now)
+Rank::integrate(Tick now, std::uint32_t open_banks, bool low,
+                bool slow, bool sr)
 {
     if (now < lastUpdate_)
         panic("Rank accounting timestamp regressed (%llu < %llu)",
@@ -159,18 +164,18 @@ Rank::sync(Tick now)
     if (dt == 0)
         return;
     activity_.totalTime += dt;
-    if (openBanks_ == 0) {
-        if (ckeLow_) {
+    if (open_banks == 0) {
+        if (low) {
             activity_.prePowerdownTime += dt;
-            if (selfRefresh_)
+            if (sr)
                 activity_.selfRefreshTime += dt;
-            else if (slowExit_)
+            else if (slow)
                 activity_.slowPowerdownTime += dt;
         } else {
             activity_.preStandbyTime += dt;
         }
     } else {
-        if (ckeLow_)
+        if (low)
             activity_.actPowerdownTime += dt;
         else
             activity_.actStandbyTime += dt;
@@ -178,9 +183,46 @@ Rank::sync(Tick now)
 }
 
 void
+Rank::sync(Tick now)
+{
+    integrate(now, openBanks_, ckeLow_, slowExit_, selfRefresh_);
+}
+
+void
+Rank::noteTransition(Tick at)
+{
+    // Record the *pre*-transition state; the drain replays exactly
+    // the branch sync() would have taken here.
+    deferLog_.push_back(
+        {at, openBanks_, ckeLow_, slowExit_, selfRefresh_});
+}
+
+void
+Rank::setDeferAccounting(bool on)
+{
+    if (!on && !deferLog_.empty())
+        panic("Rank: leaving deferred mode with %zu undrained "
+              "transitions",
+              deferLog_.size());
+    defer_ = on;
+}
+
+void
+Rank::drainDeferred()
+{
+    for (const DeferredTransition &t : deferLog_)
+        integrate(t.at, t.openBanks, t.ckeLow, t.slowExit,
+                  t.selfRefresh);
+    deferLog_.clear();
+}
+
+void
 Rank::bankOpened(Tick at)
 {
-    sync(at);
+    if (defer_)
+        noteTransition(at);
+    else
+        sync(at);
     ++openBanks_;
 }
 
@@ -189,7 +231,10 @@ Rank::bankClosed(Tick at)
 {
     if (openBanks_ == 0)
         panic("Rank: bankClosed with no open banks");
-    sync(at);
+    if (defer_)
+        noteTransition(at);
+    else
+        sync(at);
     --openBanks_;
 }
 
@@ -201,7 +246,10 @@ Rank::setPowerdown(Tick at, bool low, bool slow_exit,
         (!low || (slow_exit == slowExit_ &&
                   self_refresh == selfRefresh_)))
         return;
-    sync(at);
+    if (defer_)
+        noteTransition(at);
+    else
+        sync(at);
     if (ckeLow_ && !low)
         ++activity_.pdExits;
     ckeLow_ = low;
@@ -258,6 +306,10 @@ Rank::recordAct(Tick when)
 const RankActivity &
 Rank::sample(Tick now)
 {
+    if (defer_ && !deferLog_.empty())
+        panic("Rank: sample with %zu undrained deferred transitions; "
+              "weave barrier missing",
+              deferLog_.size());
     sync(now);
     return activity_;
 }
@@ -293,6 +345,7 @@ Rank::reset()
     selfRefresh_ = false;
     recentActs_ = {};
     numRecentActs_ = 0;
+    deferLog_.clear();
 }
 
 } // namespace memscale

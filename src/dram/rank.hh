@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "dram/timing.hh"
@@ -111,6 +112,30 @@ class Rank
     const RankActivity &sample(Tick now);
 
     /**
+     * @name Deferred accounting (bound/weave kernel).
+     *
+     * In deferred mode the state-change notifications above still
+     * update the *live* flags immediately (openBanks_/CKE drive
+     * scheduling decisions and must stay current), but the
+     * time-in-state integration is postponed: each transition is
+     * appended to a log together with the pre-transition state, and
+     * drainDeferred() — run on a weave worker — replays the log
+     * through exactly the same attribution branches sync() would have
+     * taken.  Every bucket is an integer Tick sum, so the replay is
+     * bit-identical to inline integration regardless of when the
+     * drain happens.
+     */
+    /// @{
+    void setDeferAccounting(bool on);
+    bool deferAccounting() const { return defer_; }
+
+    /** Replay and clear the transition log (weave worker). */
+    void drainDeferred();
+
+    bool deferredEmpty() const { return deferLog_.empty(); }
+    /// @}
+
+    /**
      * Publish this rank's cumulative activity counters under `prefix`
      * (e.g. "mc0.chan1.rank0").  Registers pointers only; the
      * time-in-state values read as of the last sample() flush.
@@ -136,7 +161,20 @@ class Rank
     /// @}
 
   private:
+    /** One postponed transition: timestamp + pre-transition state. */
+    struct DeferredTransition
+    {
+        Tick at;
+        std::uint32_t openBanks;
+        bool ckeLow;
+        bool slowExit;
+        bool selfRefresh;
+    };
+
     void sync(Tick now);
+    void integrate(Tick now, std::uint32_t open_banks, bool low,
+                   bool slow, bool sr);
+    void noteTransition(Tick at);
 
     RankActivity activity_;
     Tick lastUpdate_ = 0;
@@ -144,6 +182,8 @@ class Rank
     bool ckeLow_ = false;
     bool slowExit_ = false;
     bool selfRefresh_ = false;
+    bool defer_ = false;
+    std::vector<DeferredTransition> deferLog_;
 
     /**
      * Recent ACT issue times kept sorted ascending; enough history for

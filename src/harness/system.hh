@@ -80,6 +80,19 @@ struct SystemConfig
     KernelMode kernelMode = KernelMode::Fast;
 
     /**
+     * Bound/weave worker threads (sim/weave).  1 (the default) runs
+     * today's purely serial kernel; N > 1 keeps the global event loop
+     * serial (the "bound" phase, which fixes all timing) but defers
+     * per-channel accounting — command-stream validation, rank
+     * residency integration, trace pre-generation — to a worker pool
+     * that drains it at policy/sampling barriers (the "weave" phase).
+     * Results are bit-identical at every thread count; the goldens and
+     * the differential harness's threadDiff() pin this.  Not part of
+     * the result identity (flattenRunResult ignores it).
+     */
+    unsigned threads = 1;
+
+    /**
      * Attach the online DDR3 protocol checker (check/protocol_checker)
      * to every channel.  Violations are counted in RunResult; with
      * strictCheck (or MEMSCALE_STRICT=1 / -DMEMSCALE_STRICT=ON) the

@@ -42,6 +42,9 @@ void
 Channel::setCommandObserver(CommandObserver *obs,
                             std::uint32_t chan_id)
 {
+    // Never hand buffered commands to a different (or no) observer.
+    if (weave_)
+        weaveDrain();
     obs_ = obs;
     chanId_ = chan_id;
     if (obs_)
@@ -49,9 +52,47 @@ Channel::setCommandObserver(CommandObserver *obs,
 }
 
 void
+Channel::setWeave(bool on)
+{
+    if (weave_ && !on)
+        weaveDrain();
+    weave_ = on;
+    for (Rank &rk : ranks_)
+        rk.setDeferAccounting(on);
+}
+
+void
+Channel::weaveDrain()
+{
+    if (obs_) {
+        for (const DramCmdEvent &ev : weaveCmds_)
+            obs_->onCommand(ev);
+    }
+    weaveCmds_.clear();
+    for (Rank &rk : ranks_)
+        rk.drainDeferred();
+}
+
+bool
+Channel::weaveEmpty() const
+{
+    if (!weaveCmds_.empty())
+        return false;
+    for (const Rank &rk : ranks_) {
+        if (!rk.deferredEmpty())
+            return false;
+    }
+    return true;
+}
+
+void
 Channel::emit(DramCmdEvent ev)
 {
     ev.channel = chanId_;
+    if (weave_) {
+        weaveCmds_.push_back(ev);
+        return;
+    }
     obs_->onCommand(ev);
 }
 
@@ -517,11 +558,20 @@ Channel::applyFrequency(const TimingParams &tp)
 
     tp_ = tp;
     if (obs_) {
+        // The observer learns about the new timing immediately (it is
+        // not a replayable command), so the Relock must reach it first
+        // to preserve the serial stream order: drain anything buffered
+        // and announce both directly.  applyFrequency runs on the
+        // bound thread with no weave workers in flight, so the inline
+        // drain is race-free.
+        if (weave_)
+            weaveDrain();
         DramCmdEvent ev;
         ev.cmd = DramCmd::Relock;
         ev.at = quiesce;
         ev.doneAt = stall_end;
-        emit(ev);
+        ev.channel = chanId_;
+        obs_->onCommand(ev);
         obs_->onTimingChange(chanId_, stall_end, tp_);
     }
     return stall_end;
@@ -622,6 +672,10 @@ Channel::rebuildEvent(std::uint32_t kind, std::uint64_t a,
 void
 Channel::saveState(SectionWriter &w) const
 {
+    if (!weaveCmds_.empty())
+        panic("Channel %u: saveState with %zu unreplayed commands; "
+              "weave barrier missing",
+              id_, weaveCmds_.size());
     counters_.saveState(w);
     tp_.saveState(w);
     w.u64(ranks_.size());

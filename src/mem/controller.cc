@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "obs/stat_registry.hh"
+#include "sim/weave.hh"
 #include "snapshot/serializer.hh"
 
 namespace memscale
@@ -70,6 +71,7 @@ MemoryController::setFrequency(FreqIndex idx)
         change |= (f != idx);
     if (!change)
         return eq_.now();
+    weaveBarrier();
     if (beforeFreqChange_)
         beforeFreqChange_();
     freqTransitions_ += 1;
@@ -94,6 +96,7 @@ MemoryController::setChannelFrequency(std::uint32_t channel,
         fatal("MemoryController: bad channel %u", channel);
     if (chanFreq_[channel] == idx)
         return eq_.now();
+    weaveBarrier();
     if (beforeFreqChange_)
         beforeFreqChange_();
     freqTransitions_ += 1;
@@ -150,9 +153,40 @@ MemoryController::addRankTimes(McCounters &out, Channel &ch)
     }
 }
 
+void
+MemoryController::attachWeave(WeaveHub *hub)
+{
+    weaveHub_ = hub;
+    for (auto &ch : channels_) {
+        ch->setWeave(hub != nullptr);
+        if (hub) {
+            Channel *c = ch.get();
+            hub->addTask([c] { c->weaveDrain(); });
+        }
+    }
+}
+
+void
+MemoryController::weaveBarrier()
+{
+    if (weaveHub_)
+        weaveHub_->barrier();
+}
+
+bool
+MemoryController::weaveDrained() const
+{
+    for (const auto &ch : channels_) {
+        if (!ch->weaveEmpty())
+            return false;
+    }
+    return true;
+}
+
 McCounters
 MemoryController::sampleCounters()
 {
+    weaveBarrier();
     McCounters out;
     for (auto &ch : channels_) {
         const McCounters &c = ch->counters();
@@ -181,6 +215,7 @@ MemoryController::sampleChannelCounters(std::uint32_t ch)
 {
     if (ch >= channels_.size())
         fatal("MemoryController: bad channel %u", ch);
+    weaveBarrier();
     McCounters out = channels_[ch]->counters();
     addRankTimes(out, *channels_[ch]);
     return out;
@@ -189,6 +224,7 @@ MemoryController::sampleChannelCounters(std::uint32_t ch)
 IntervalActivity
 MemoryController::sampleActivity()
 {
+    weaveBarrier();
     IntervalActivity ia;
     ia.busMHz = busMHz();
     ia.deviceBusMHz = decoupledMHz_;

@@ -174,6 +174,9 @@ EventQueue::step()
 std::vector<PendingEvent>
 EventQueue::exportPending() const
 {
+    if (exportGuard_ && !exportGuard_())
+        fatal("checkpoint: exportPending inside a half-woven "
+              "interval; drain the weave barrier before cutting");
     // Collect live entries with their ordering keys, sort by execution
     // order, then strip the keys: the restore side re-schedules in this
     // order with fresh sequences, which reproduces every same-tick

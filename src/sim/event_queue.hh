@@ -21,6 +21,7 @@
 #define MEMSCALE_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/types.hh"
@@ -154,8 +155,29 @@ class EventQueue
      * (when, class, insertion sequence).  EvEphemeral-tagged events
      * (the checkpoint writer's own) are skipped; an untagged
      * (EvNone) live event is fatal — it could not be reconstructed.
+     *
+     * Order-stability guarantee: the exported order is the exact
+     * order the events would have executed in, independent of kernel
+     * mode, of how many weave barriers have run, and of heap
+     * internals — (when, class, seq) is a total order and seq is
+     * assigned at schedule time on the bound thread only.  Under the
+     * bound/weave kernel the *accounting* state a checkpoint also
+     * captures is only coherent at a drained barrier, so an export
+     * guard (below) makes cutting inside a half-woven interval fatal
+     * rather than silently inconsistent.
      */
     std::vector<PendingEvent> exportPending() const;
+
+    /**
+     * Install a predicate that must return true for exportPending()
+     * to proceed (e.g. "all weave shards drained").  Exporting while
+     * the guard returns false is fatal: a snapshot cut there would
+     * observe a half-woven interval.  Empty guard disables the check.
+     */
+    void setExportGuard(std::function<bool()> guard)
+    {
+        exportGuard_ = std::move(guard);
+    }
 
     /**
      * Destroy every pending event (restore drops the freshly
@@ -244,6 +266,7 @@ class EventQueue
     std::uint64_t nextSeq_ = 1;
     bool stopped_ = false;
     KernelMode mode_ = KernelMode::Fast;
+    std::function<bool()> exportGuard_;
 };
 
 } // namespace memscale

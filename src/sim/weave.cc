@@ -1,0 +1,36 @@
+#include "sim/weave.hh"
+
+#include <utility>
+
+namespace memscale
+{
+
+void
+WeaveHub::setRunner(WeaveRunner runner)
+{
+    runner_ = std::move(runner);
+}
+
+std::size_t
+WeaveHub::addTask(std::function<void()> task)
+{
+    tasks_.push_back(std::move(task));
+    return tasks_.size() - 1;
+}
+
+void
+WeaveHub::barrier()
+{
+    if (tasks_.empty())
+        return;
+    ++barriers_;
+    if (runner_) {
+        runner_(tasks_.size(),
+                [this](std::size_t i) { tasks_[i](); });
+    } else {
+        for (auto &t : tasks_)
+            t();
+    }
+}
+
+} // namespace memscale

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bound/weave coordination hub.
+ *
+ * The parallel kernel splits each run into a *bound* phase — the
+ * ordinary global event loop, which stays the single source of truth
+ * for timing — and a *weave* phase in which per-channel accounting
+ * shards (DRAM command replay into the protocol checker, deferred
+ * rank time-in-state integration, trace prefetch refill) are drained
+ * concurrently on worker threads.
+ *
+ * The hub owns the list of weave tasks and a pluggable runner.  A
+ * barrier() call hands every task to the runner and returns only when
+ * all of them have completed; the bound thread blocks inside the
+ * runner for the duration, so bound-phase and weave-phase accesses to
+ * shared simulator state are temporally disjoint (the runner's join
+ * establishes the happens-before edge).  Without a runner the tasks
+ * execute inline, which is also the threads=1 degenerate case.
+ *
+ * The runner is deliberately type-erased (`std::function`) so that
+ * src/sim and src/mem need no dependency on the harness thread pool:
+ * the harness wraps SweepEngine::forEach and injects it here.
+ */
+
+#ifndef MEMSCALE_SIM_WEAVE_HH
+#define MEMSCALE_SIM_WEAVE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace memscale
+{
+
+/**
+ * Executes `fn(0..n-1)` across a worker pool and returns once every
+ * index has completed (a full barrier).
+ */
+using WeaveRunner = std::function<void(
+    std::size_t, const std::function<void(std::size_t)> &)>;
+
+class WeaveHub
+{
+  public:
+    /** Install the parallel runner; nullptr-like empty runs inline. */
+    void setRunner(WeaveRunner runner);
+
+    /**
+     * Register a weave task (e.g. one channel's drain, one core's
+     * prefetch refill).  Tasks must touch disjoint state: they run
+     * concurrently with each other during a barrier.  Returns the
+     * task index.
+     */
+    std::size_t addTask(std::function<void()> task);
+
+    /**
+     * Run every registered task to completion.  Safe to call at any
+     * bound-phase point: tasks are required to be behaviour-free
+     * (pure accounting replay), so extra barriers only cost time.
+     */
+    void barrier();
+
+    std::size_t tasks() const { return tasks_.size(); }
+    std::uint64_t barriers() const { return barriers_; }
+
+  private:
+    std::vector<std::function<void()>> tasks_;
+    WeaveRunner runner_;
+    std::uint64_t barriers_ = 0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_SIM_WEAVE_HH

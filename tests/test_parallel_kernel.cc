@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Bound/weave parallel kernel tests.
+ *
+ * The contract under test is absolute bit-identity: a run at any
+ * thread count must produce exactly the same observable state — the
+ * full flattenRunResult() digest, including counters, energy, CPI,
+ * and the per-epoch decision timeline — as the serial (threads=1)
+ * kernel.  The suite pins this three ways: the full mix matrix at
+ * several thread counts against the serial run, the unregenerated
+ * MID1 golden hash reproduced at every thread count, and a churn
+ * fuzz that forces weave barriers through mid-relock, mid-refresh,
+ * and powered-down-rank states with the strict protocol checker
+ * attached (any ordering bug that surfaces as a timing violation
+ * aborts the run, not just the comparison).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/differential.hh"
+#include "harness/experiment.hh"
+#include "sim/event_queue.hh"
+#include "sim/weave.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+/** Fixed rest-of-system wattage (matches test_golden). */
+constexpr Watts RestWatts = 150.0;
+
+/** The exact scenario behind test_golden's pinned hashes. */
+SystemConfig
+goldenConfig(const std::string &mix)
+{
+    SystemConfig cfg;
+    cfg.mixName = mix;
+    cfg.instrBudget = 500'000;
+    cfg.epochLen = msToTick(0.1);
+    cfg.profileLen = usToTick(10.0);
+    cfg.seed = 12345;
+    return cfg;
+}
+
+/** Smaller budget for the broad mix x threads matrix. */
+SystemConfig
+matrixConfig(const std::string &mix)
+{
+    SystemConfig cfg = goldenConfig(mix);
+    cfg.instrBudget = 250'000;
+    return cfg;
+}
+
+std::uint64_t
+hashAt(SystemConfig cfg, const std::string &policy, unsigned threads)
+{
+    cfg.threads = threads;
+    return hashRunResult(runPolicy(cfg, policy, RestWatts));
+}
+
+const char *const kAllMixes[] = {
+    "ILP1", "ILP2", "ILP3", "ILP4", "MID1", "MID2",
+    "MID3", "MID4", "MEM1", "MEM2", "MEM3", "MEM4",
+};
+
+/** test_golden's pinned MID1 digest at the goldenConfig scenario. */
+constexpr std::uint64_t kMid1Golden = 0x509463a53f9d2cfdull;
+
+} // namespace
+
+TEST(ParallelKernel, SerialVsThreadedAllMixes)
+{
+    for (const char *mix : kAllMixes) {
+        const std::uint64_t serial =
+            hashAt(matrixConfig(mix), "memscale", 1);
+        for (unsigned threads : {2u, 4u, 8u}) {
+            EXPECT_EQ(hashAt(matrixConfig(mix), "memscale", threads),
+                      serial)
+                << mix << " diverged at threads=" << threads;
+        }
+    }
+}
+
+TEST(ParallelKernel, PinnedGoldenAtEveryThreadCount)
+{
+    // The goldens must pass *unregenerated* at every thread count:
+    // the parallel kernel reproduces the exact serial digest, not a
+    // new one of its own.
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        EXPECT_EQ(hashAt(goldenConfig("MID1"), "memscale", threads),
+                  kMid1Golden)
+            << "MID1 golden diverged at threads=" << threads;
+    }
+}
+
+TEST(ParallelKernel, EpochBoundaryChurnUnderStrictChecker)
+{
+    // Weave barriers land on whatever the bound phase left in flight:
+    // relocks straddling an epoch edge (memscale re-clocks), ranks in
+    // (self-refresh) powerdown (fastpd), refreshes mid-window.  The
+    // strict checker turns any replay-ordering bug that perturbs
+    // timing validation into a hard abort; the digest comparison
+    // catches everything else.
+    for (const char *policy : {"memscale", "fastpd"}) {
+        for (std::uint64_t seed : {7ull, 99ull}) {
+            for (std::uint32_t channels : {4u, 8u}) {
+                SystemConfig cfg = matrixConfig("MID3");
+                cfg.mem.numChannels = channels;
+                cfg.seed = seed;
+                cfg.protocolCheck = true;
+                cfg.strictCheck = true;
+                EXPECT_EQ(hashAt(cfg, policy, 4),
+                          hashAt(cfg, policy, 1))
+                    << policy << " seed=" << seed
+                    << " channels=" << channels;
+            }
+        }
+    }
+}
+
+TEST(ParallelKernel, ThreadDiffHarnessIsClean)
+{
+    DifferentialHarness diff(4);
+    SystemConfig cfg = matrixConfig("MID1");
+    cfg.protocolCheck = true;
+    DiffReport rep = diff.threadDiff(cfg, "memscale", 4);
+    EXPECT_TRUE(rep.identical()) << rep.str();
+}
+
+TEST(ParallelKernel, ShardedThreadedRunMatchesSerial)
+{
+    // Checkpoint/resume composes with the weave kernel: cutting a
+    // threaded run at arbitrary ticks (each cut drains the weave
+    // barrier first) and resuming threaded must land on the serial
+    // uninterrupted digest.
+    SystemConfig cfg = matrixConfig("MID2");
+    RunResult serial = runPolicy(cfg, "memscale", RestWatts);
+    ASSERT_GT(serial.runtime, 0u);
+
+    SystemConfig threaded = cfg;
+    threaded.threads = 4;
+    const std::vector<Tick> cuts = {serial.runtime / 3,
+                                    (2 * serial.runtime) / 3};
+    RunResult sharded = runPolicySharded(
+        threaded, "memscale", RestWatts, cuts,
+        "/tmp/memscale_test_parallel_shard");
+    EXPECT_EQ(hashRunResult(sharded), hashRunResult(serial));
+}
+
+TEST(ParallelKernel, ExportGuardRefusesHalfWovenCut)
+{
+    EventQueue eq(KernelMode::Fast);
+    eq.setExportGuard([] { return false; });
+    EXPECT_THROW(eq.exportPending(), FatalError);
+}
+
+TEST(ParallelKernel, WeaveHubRunsTasksAtBarriers)
+{
+    WeaveHub hub;
+    int a = 0;
+    int b = 0;
+    EXPECT_EQ(hub.addTask([&a] { ++a; }), 0u);
+    EXPECT_EQ(hub.addTask([&b] { b += 2; }), 1u);
+    EXPECT_EQ(hub.tasks(), 2u);
+
+    // No runner installed: barrier() falls back to inline execution.
+    hub.barrier();
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+
+    // A runner sees the task count and dispatches by index.
+    std::size_t seen = 0;
+    hub.setRunner([&seen](std::size_t n,
+                          const std::function<void(std::size_t)> &fn) {
+        seen = n;
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+    });
+    hub.barrier();
+    EXPECT_EQ(seen, 2u);
+    EXPECT_EQ(a, 2);
+    EXPECT_EQ(b, 4);
+    EXPECT_EQ(hub.barriers(), 2u);
+}
