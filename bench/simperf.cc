@@ -21,6 +21,7 @@
 #include "sim/event_queue.hh"
 #include "sim/weave.hh"
 #include "workload/mixes.hh"
+#include "workload/openloop.hh"
 #include "workload/trace_source.hh"
 
 using namespace memscale;
@@ -184,6 +185,35 @@ BM_ChannelWriteDrain(benchmark::State &state)
     channelPattern(state, false, true, SchedulerPolicy::FrFcfs);
 }
 BENCHMARK(BM_ChannelWriteDrain);
+
+/**
+ * Arrival-generator throughput over the three processes (arrivals per
+ * second of wall clock).  The open-loop front end draws one of these
+ * per request, so the generator must stay far off the serving hot
+ * path; thinning makes diurnal the slowest of the three.
+ */
+void
+BM_OpenLoopArrivals(benchmark::State &state)
+{
+    constexpr int kArrivals = 10000;
+    for (auto _ : state) {
+        for (ArrivalKind kind :
+             {ArrivalKind::Poisson, ArrivalKind::Bursty,
+              ArrivalKind::Diurnal}) {
+            ArrivalConfig cfg;
+            cfg.kind = kind;
+            cfg.ratePerSec = 2.0e6;
+            cfg.seed = 99;
+            ArrivalGenerator gen(cfg);
+            Tick last = 0;
+            for (int i = 0; i < kArrivals; ++i)
+                last = gen.next();
+            benchmark::DoNotOptimize(last);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kArrivals * 3);
+}
+BENCHMARK(BM_OpenLoopArrivals);
 
 void
 BM_FullSystem(benchmark::State &state)

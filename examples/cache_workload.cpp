@@ -40,7 +40,7 @@ main(int argc, char **argv)
     // Each core runs a stream mix through its slice of a 16 MB LLC.
     std::vector<std::unique_ptr<CacheTraceSource>> sources;
     std::vector<std::unique_ptr<Core>> cores;
-    std::vector<Core *> core_ptrs;
+    std::vector<CpuSampler *> core_ptrs;
     CoreParams cp;
     cp.instrBudget = budget;
     cp.runPastBudget = false;

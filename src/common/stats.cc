@@ -47,13 +47,48 @@ Histogram::reset()
     underflow_ = overflow_ = total_ = 0;
 }
 
+void
+Histogram::merge(const Histogram &o)
+{
+    if (o.lo_ != lo_ || o.hi_ != hi_ ||
+        o.buckets_.size() != buckets_.size())
+        fatal("Histogram::merge: geometry mismatch "
+              "([%g, %g) x %zu vs [%g, %g) x %zu)",
+              lo_, hi_, buckets_.size(), o.lo_, o.hi_,
+              o.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += o.buckets_[i];
+    underflow_ += o.underflow_;
+    overflow_ += o.overflow_;
+    total_ += o.total_;
+}
+
+void
+Histogram::setCounts(const std::vector<std::uint64_t> &counts,
+                     std::uint64_t under, std::uint64_t over)
+{
+    if (counts.size() != buckets_.size())
+        fatal("Histogram::setCounts: %zu buckets into a %zu-bucket "
+              "histogram",
+              counts.size(), buckets_.size());
+    buckets_ = counts;
+    underflow_ = under;
+    overflow_ = over;
+    total_ = under + over;
+    for (std::uint64_t c : counts)
+        total_ += c;
+}
+
 double
 Histogram::percentile(double p) const
 {
     if (total_ == 0)
         return lo_;
+    // Nearest-rank: the smallest k with k >= p * total.  The epsilon
+    // absorbs binary rounding of p * total (0.29 * 100 evaluates just
+    // under 29; plain truncation would step down a whole rank).
     auto target = static_cast<std::uint64_t>(
-        p * static_cast<double>(total_));
+        std::ceil(p * static_cast<double>(total_) - 1e-9));
     std::uint64_t seen = underflow_;
     if (seen >= target)
         return lo_;

@@ -115,12 +115,43 @@ class Histogram
     void add(double x);
     void reset();
 
+    /**
+     * Fold another histogram in, as if every sample of `o` had been
+     * add()ed here.  Both histograms must have identical geometry
+     * (lo, hi, bucket count); anything else is fatal, because two
+     * differently-binned histograms have no exact merge.  Counts are
+     * integers, so unlike Accumulator::merge the result is exactly
+     * what a serial pass over the union of samples would produce —
+     * merge-then-percentile equals serial percentile, whereas
+     * averaging per-shard percentiles does not (test_stats pins the
+     * divergence).
+     */
+    void merge(const Histogram &o);
+
     std::uint64_t count() const { return total_; }
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
 
-    /** Value below which the given fraction of samples fall. */
+    /** @name Bucket geometry. */
+    /// @{
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double bucketWidth() const { return width_; }
+    /// @}
+
+    /**
+     * Overwrite the counts wholesale (checkpoint restore).  `counts`
+     * must match the bucket count; the total is recomputed.
+     */
+    void setCounts(const std::vector<std::uint64_t> &counts,
+                   std::uint64_t under, std::uint64_t over);
+
+    /**
+     * Value below which the given fraction of samples fall
+     * (nearest-rank: the upper edge of the bucket holding the
+     * ceil(p * count)-th smallest sample).
+     */
     double percentile(double p) const;
 
     /** Human-readable one-line summary. */

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "cpu/sampler.hh"
 #include "cpu/trace.hh"
 #include "mem/client.hh"
 #include "mem/controller.hh"
@@ -37,7 +38,7 @@ struct CoreParams
     bool runPastBudget = true;
 };
 
-class Core final : public MemClient
+class Core final : public MemClient, public CpuSampler
 {
   public:
     Core(EventQueue &eq, CoreId id, TraceSource &source,
@@ -50,12 +51,12 @@ class Core final : public MemClient
     /** Begin execution at the current tick. */
     void start();
 
-    /** @name Performance counters. */
+    /** @name Performance counters (the CpuSampler surface). */
     /// @{
     /** Instructions committed by `now` (interpolated mid-segment). */
-    std::uint64_t tic(Tick now) const;
+    std::uint64_t tic(Tick now) const override;
     /** LLC misses issued so far. */
-    std::uint64_t tlm() const { return tlm_; }
+    std::uint64_t tlm() const override { return tlm_; }
     /// @}
 
     CoreId id() const { return id_; }
@@ -74,10 +75,10 @@ class Core final : public MemClient
      * Takes effect from the next compute segment; reported CPI stays
      * normalized to the nominal clock (i.e. it measures time).
      */
-    void setFrequencyGHz(double ghz);
+    void setFrequencyGHz(double ghz) override;
 
     /** Current core clock. */
-    double frequencyGHz() const { return ghz_; }
+    double frequencyGHz() const override { return ghz_; }
 
     /** Total ticks spent stalled on memory so far. */
     Tick stallTime() const { return stallTime_; }

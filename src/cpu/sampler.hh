@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The counter surface the epoch loop reads from "a CPU core".
+ *
+ * The paper's OS-level loop only ever touches four things per core:
+ * the TIC/TLM performance counters at a sampling boundary and the
+ * clock (read + re-clock for coordinated DVFS).  Pulling that surface
+ * into an interface lets the epoch controller and every dynamic
+ * policy drive any instruction-retiring agent — the closed-loop
+ * trace-replay Core, or an open-loop serving worker whose "program"
+ * is whatever requests arrived — without knowing which one it has.
+ */
+
+#ifndef MEMSCALE_CPU_SAMPLER_HH
+#define MEMSCALE_CPU_SAMPLER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace memscale
+{
+
+class CpuSampler
+{
+  public:
+    virtual ~CpuSampler() = default;
+
+    /** Instructions committed by `now`. */
+    virtual std::uint64_t tic(Tick now) const = 0;
+
+    /** LLC misses issued so far. */
+    virtual std::uint64_t tlm() const = 0;
+
+    /** Current core clock. */
+    virtual double frequencyGHz() const = 0;
+
+    /** Re-clock the core (coordinated-DVFS extension). */
+    virtual void setFrequencyGHz(double ghz) = 0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_CPU_SAMPLER_HH

@@ -125,6 +125,28 @@ flattenRunResult(const RunResult &r)
     }
     out.emplace_back("protocolViolations",
                      fmtU64(r.protocolViolations));
+    // Serving fields ride along only for serving runs, so every
+    // closed-loop flattened sequence — and therefore every golden
+    // hash — is byte-identical to what it was before serving existed.
+    if (r.serving.valid) {
+        const ServingStats &s = r.serving;
+        out.emplace_back("serving.arrived", fmtU64(s.arrived));
+        out.emplace_back("serving.completed", fmtU64(s.completed));
+        out.emplace_back("serving.dropped", fmtU64(s.dropped));
+        out.emplace_back("serving.queuedAtEnd",
+                         fmtU64(s.queuedAtEnd));
+        out.emplace_back("serving.inServiceAtEnd",
+                         fmtU64(s.inServiceAtEnd));
+        out.emplace_back("serving.queuePeak", fmtU64(s.queuePeak));
+        out.emplace_back("serving.meanUs", fmtF64(s.meanUs));
+        out.emplace_back("serving.maxUs", fmtF64(s.maxUs));
+        out.emplace_back("serving.p50Us", fmtF64(s.p50Us));
+        out.emplace_back("serving.p95Us", fmtF64(s.p95Us));
+        out.emplace_back("serving.p99Us", fmtF64(s.p99Us));
+        out.emplace_back("serving.p999Us", fmtF64(s.p999Us));
+        out.emplace_back("serving.histOverflow",
+                         fmtU64(s.histOverflow));
+    }
     return out;
 }
 

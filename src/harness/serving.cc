@@ -1,0 +1,518 @@
+#include "harness/serving.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "mem/controller.hh"
+#include "obs/stat_registry.hh"
+#include "sim/event_kinds.hh"
+#include "snapshot/serializer.hh"
+
+namespace memscale
+{
+
+// ---------------------------------------------------------------------------
+// ServingWorker
+// ---------------------------------------------------------------------------
+
+ServingWorker::ServingWorker(ServingFrontEnd &fe, CoreId id, Addr base,
+                             std::uint64_t footprint_lines,
+                             std::uint64_t rng_seed)
+    : fe_(fe), id_(id), base_(base),
+      footprintLines_(footprint_lines), rng_(rng_seed)
+{
+    if (footprintLines_ == 0)
+        fatal("ServingWorker: zero footprint");
+    streamLine_ = rng_.below(footprintLines_);
+}
+
+void
+ServingWorker::setFrequencyGHz(double ghz)
+{
+    ghz_ = ghz;
+    cpuPeriod_ = static_cast<Tick>(
+        std::llround(static_cast<double>(tickPerSec) / (ghz * 1e9)));
+    if (cpuPeriod_ == 0)
+        cpuPeriod_ = 1;
+}
+
+Addr
+ServingWorker::nextLineAddr()
+{
+    // Half streaming, half uniform within the worker's region — a
+    // plain mixed access pattern with some row-buffer locality.
+    std::uint64_t line;
+    if (rng_.chance(0.5)) {
+        streamLine_ = (streamLine_ + 1) % footprintLines_;
+        line = streamLine_;
+    } else {
+        line = rng_.below(footprintLines_);
+    }
+    return base_ + line * fe_.mc_.config().lineBytes;
+}
+
+void
+ServingWorker::beginRequest(Tick arrival, std::uint64_t misses)
+{
+    busy_ = true;
+    reqArrival_ = arrival;
+    missesLeft_ = misses;
+    busyStart_ = fe_.eq_.now();
+    scheduleCompute();
+}
+
+void
+ServingWorker::scheduleCompute()
+{
+    // Compute segment before the next miss: instrPerMiss instructions
+    // at computeCpi cycles each, at the current core clock.
+    const Tick gap = static_cast<Tick>(
+        std::llround(static_cast<double>(fe_.opts_.instrPerMiss) *
+                     fe_.opts_.computeCpi *
+                     static_cast<double>(cpuPeriod_)));
+    if (gap == 0) {
+        issueMiss();
+        return;
+    }
+    fe_.eq_.scheduleIn(gap, [this] { issueMiss(); },
+                       EventClass::Hardware, {EvServeIssue, id_});
+}
+
+void
+ServingWorker::issueMiss()
+{
+    retired_ += fe_.opts_.instrPerMiss;
+    ++tlm_;
+    fe_.mc_.read(nextLineAddr(), id_, this);
+}
+
+void
+ServingWorker::onMemComplete(Tick when, const MemRequest &req)
+{
+    (void)req;
+    ++retired_;   // the missing load itself
+    --missesLeft_;
+    if (missesLeft_ > 0) {
+        scheduleCompute();
+        return;
+    }
+    ++served_;
+    busy_ = false;
+    busyTime_ += when - busyStart_;
+    fe_.onRequestDone(*this, when, reqArrival_);
+}
+
+void
+ServingWorker::saveState(SectionWriter &w) const
+{
+    saveRng(w, rng_);
+    w.f64(ghz_);
+    w.b(busy_);
+    w.u64(reqArrival_);
+    w.u64(missesLeft_);
+    w.u64(streamLine_);
+    w.u64(retired_);
+    w.u64(tlm_);
+    w.u64(served_);
+    w.u64(busyTime_);
+    w.u64(busyStart_);
+}
+
+void
+ServingWorker::restoreState(SectionReader &r)
+{
+    restoreRng(r, rng_);
+    setFrequencyGHz(r.f64());
+    busy_ = r.b();
+    reqArrival_ = r.u64();
+    missesLeft_ = r.u64();
+    streamLine_ = r.u64();
+    retired_ = r.u64();
+    tlm_ = r.u64();
+    served_ = r.u64();
+    busyTime_ = r.u64();
+    busyStart_ = r.u64();
+}
+
+// ---------------------------------------------------------------------------
+// ServingFrontEnd
+// ---------------------------------------------------------------------------
+
+ServingFrontEnd::ServingFrontEnd(EventQueue &eq, MemoryController &mc,
+                                 const ServingOptions &opts,
+                                 std::uint32_t num_workers,
+                                 double cpu_ghz,
+                                 std::uint64_t run_seed)
+    : eq_(eq), mc_(mc), opts_(opts),
+      gen_([&] {
+          ArrivalConfig ac = opts.arrival;
+          if (ac.seed == 0)
+              ac.seed = deriveSeed(run_seed, 0xA11Au);
+          return ac;
+      }()),
+      demandRng_(deriveSeed(run_seed, 0xDE3Au)),
+      latUs_(0.0, opts.histMaxUs, opts.histBuckets),
+      winUs_(0.0, opts.histMaxUs, opts.histBuckets)
+{
+    if (num_workers == 0)
+        fatal("ServingFrontEnd: no workers");
+    if (!(opts_.missesPerRequest >= 1.0))
+        fatal("ServingFrontEnd: misses/request %g must be >= 1",
+              opts_.missesPerRequest);
+    if (opts_.horizon == 0)
+        fatal("ServingFrontEnd: zero horizon");
+    const std::uint64_t region =
+        mc_.config().totalBytes() / num_workers;
+    const std::uint64_t lines = region / mc_.config().lineBytes;
+    workers_.reserve(num_workers);
+    for (std::uint32_t i = 0; i < num_workers; ++i) {
+        workers_.push_back(std::make_unique<ServingWorker>(
+            *this, i, static_cast<Addr>(i) * region, lines,
+            deriveSeed(run_seed, 0x5E54000ull + i)));
+        workers_.back()->setFrequencyGHz(cpu_ghz);
+    }
+}
+
+ServingFrontEnd::~ServingFrontEnd() = default;
+
+void
+ServingFrontEnd::start()
+{
+    scheduleNextArrival();
+}
+
+void
+ServingFrontEnd::scheduleNextArrival()
+{
+    // Exactly one arrival event is ever pending; each one re-arms the
+    // next, so a checkpoint carries at most one EvServeArrival and
+    // the generator Rng sits exactly at the consumption point.
+    const Tick when = gen_.next();
+    if (when > opts_.horizon) {
+        arrivalsClosed_ = true;
+        return;
+    }
+    eq_.schedule(std::max(when, eq_.now()), [this] { onArrival(); },
+                 EventClass::Hardware, {EvServeArrival, 0});
+}
+
+std::uint64_t
+ServingFrontEnd::drawDemand()
+{
+    if (opts_.fixedDemand) {
+        return std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::llround(opts_.missesPerRequest)));
+    }
+    // Geometric with mean missesPerRequest (support >= 1).
+    return demandRng_.geometric(1.0 / opts_.missesPerRequest);
+}
+
+void
+ServingFrontEnd::noteQueuePeak()
+{
+    queuePeak_ = std::max<std::uint64_t>(queuePeak_, queue_.size());
+}
+
+void
+ServingFrontEnd::onArrival()
+{
+    ++arrived_;
+    // Demand is drawn at arrival time from a dedicated Rng, so a
+    // request's size never depends on which worker it lands on.
+    const QueuedRequest req{eq_.now(), drawDemand()};
+
+    // Lowest-index idle worker; deterministic dispatch.
+    ServingWorker *idle = nullptr;
+    for (auto &w : workers_) {
+        if (!w->busy()) {
+            idle = w.get();
+            break;
+        }
+    }
+    if (idle) {
+        idle->beginRequest(req.arrival, req.misses);
+    } else if (opts_.maxQueue > 0 &&
+               queue_.size() >= opts_.maxQueue) {
+        ++dropped_;
+    } else {
+        queue_.push_back(req);
+        noteQueuePeak();
+    }
+    scheduleNextArrival();
+}
+
+void
+ServingFrontEnd::onRequestDone(ServingWorker &w, Tick when,
+                               Tick arrival)
+{
+    ++completed_;
+    const double lat_us = tickToUs(when - arrival);
+    latSumUs_ += lat_us;
+    latMaxUs_ = std::max(latMaxUs_, lat_us);
+    latUs_.add(lat_us);
+    winUs_.add(lat_us);
+
+    if (!queue_.empty()) {
+        const QueuedRequest next = queue_.front();
+        queue_.pop_front();
+        w.beginRequest(next.arrival, next.misses);
+    }
+}
+
+std::vector<MemClient *>
+ServingFrontEnd::clients()
+{
+    std::vector<MemClient *> out;
+    out.reserve(workers_.size());
+    for (auto &w : workers_)
+        out.push_back(w.get());
+    return out;
+}
+
+std::vector<CpuSampler *>
+ServingFrontEnd::samplers()
+{
+    std::vector<CpuSampler *> out;
+    out.reserve(workers_.size());
+    for (auto &w : workers_)
+        out.push_back(w.get());
+    return out;
+}
+
+TailWindow
+ServingFrontEnd::tailWindow()
+{
+    TailWindow tw;
+    tw.completions = winUs_.count();
+    if (tw.completions > 0) {
+        tw.p50Us = winUs_.percentile(0.50);
+        tw.p99Us = winUs_.percentile(0.99);
+        tw.p999Us = winUs_.percentile(0.999);
+        // Mean from the bucket midpoints; exact enough for a policy
+        // signal and avoids a second windowed sum to checkpoint.
+        // Overflowed samples count at hi (they only push the signal
+        // the safe way: toward "too slow").
+        double sum = 0.0;
+        const auto &b = winUs_.buckets();
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            sum += static_cast<double>(b[i]) *
+                   (winUs_.lo() +
+                    winUs_.bucketWidth() * (static_cast<double>(i) + 0.5));
+        }
+        sum += static_cast<double>(winUs_.overflow()) * winUs_.hi();
+        tw.meanUs = sum / static_cast<double>(tw.completions);
+    }
+    tw.queued = queue_.size();
+    winUs_.reset();
+    return tw;
+}
+
+ServingStats
+ServingFrontEnd::stats(Tick end) const
+{
+    ServingStats s;
+    s.valid = true;
+    s.arrived = arrived_;
+    s.completed = completed_;
+    s.dropped = dropped_;
+    s.queuedAtEnd = queue_.size();
+    s.queuePeak = queuePeak_;
+    for (const auto &w : workers_)
+        s.inServiceAtEnd += w->busy() ? 1 : 0;
+    const double sec = tickToSec(end);
+    if (sec > 0.0) {
+        s.offeredQps = static_cast<double>(arrived_) / sec;
+        s.completedQps = static_cast<double>(completed_) / sec;
+    }
+    if (completed_ > 0) {
+        s.meanUs = latSumUs_ / static_cast<double>(completed_);
+        s.maxUs = latMaxUs_;
+        s.p50Us = latUs_.percentile(0.50);
+        s.p95Us = latUs_.percentile(0.95);
+        s.p99Us = latUs_.percentile(0.99);
+        s.p999Us = latUs_.percentile(0.999);
+    }
+    s.histOverflow = latUs_.overflow();
+    return s;
+}
+
+void
+ServingFrontEnd::registerStats(StatRegistry &reg,
+                               const std::string &prefix)
+{
+    reg.addCounter(prefix + ".arrived", &arrived_);
+    reg.addCounter(prefix + ".completed", &completed_);
+    reg.addCounter(prefix + ".dropped", &dropped_);
+    reg.addCounter(prefix + ".queuePeak", &queuePeak_);
+    reg.addGauge(prefix + ".queueDepth", [this] {
+        return static_cast<double>(queue_.size());
+    });
+    reg.addHistogram(prefix + ".latencyUs", &latUs_);
+}
+
+void
+ServingFrontEnd::saveState(SectionWriter &w) const
+{
+    // Configuration fingerprint first: a serving snapshot only
+    // replays into the identical serving setup, and a named mismatch
+    // beats a silently diverging arrival stream.
+    w.u8(static_cast<std::uint8_t>(opts_.arrival.kind));
+    w.f64(opts_.arrival.ratePerSec);
+    w.u64(gen_.config().seed);
+    w.f64(opts_.arrival.burstFactor);
+    w.f64(opts_.arrival.burstFraction);
+    w.u64(opts_.arrival.meanBurstLen);
+    w.u64(opts_.arrival.diurnalPeriod);
+    w.f64(opts_.arrival.diurnalDepth);
+    w.f64(opts_.missesPerRequest);
+    w.b(opts_.fixedDemand);
+    w.u32(opts_.instrPerMiss);
+    w.f64(opts_.computeCpi);
+    w.u64(opts_.horizon);
+    w.u64(opts_.maxQueue);
+    w.f64(opts_.histMaxUs);
+    w.u32(opts_.histBuckets);
+    w.u32(static_cast<std::uint32_t>(workers_.size()));
+
+    gen_.saveState(w);
+    saveRng(w, demandRng_);
+    w.b(arrivalsClosed_);
+
+    w.u64(arrived_);
+    w.u64(completed_);
+    w.u64(dropped_);
+    w.u64(queuePeak_);
+    w.f64(latSumUs_);
+    w.f64(latMaxUs_);
+
+    w.u32(static_cast<std::uint32_t>(queue_.size()));
+    for (const QueuedRequest &q : queue_) {
+        w.u64(q.arrival);
+        w.u64(q.misses);
+    }
+
+    auto save_hist = [&w](const Histogram &h) {
+        w.u64(h.underflow());
+        w.u64(h.overflow());
+        w.u32(static_cast<std::uint32_t>(h.buckets().size()));
+        for (std::uint64_t c : h.buckets())
+            w.u64(c);
+    };
+    save_hist(latUs_);
+    save_hist(winUs_);
+
+    for (const auto &wk : workers_)
+        wk->saveState(w);
+}
+
+void
+ServingFrontEnd::restoreState(SectionReader &r)
+{
+    auto want_u64 = [&r](const char *what, std::uint64_t want) {
+        const std::uint64_t got = r.u64();
+        if (got != want)
+            fatal("serving resume: snapshot %s %llu does not match "
+                  "run %llu",
+                  what, static_cast<unsigned long long>(got),
+                  static_cast<unsigned long long>(want));
+    };
+    auto want_f64 = [&r](const char *what, double want) {
+        const double got = r.f64();
+        if (got != want)
+            fatal("serving resume: snapshot %s %.17g does not match "
+                  "run %.17g",
+                  what, got, want);
+    };
+
+    const std::uint8_t kind = r.u8();
+    if (kind != static_cast<std::uint8_t>(opts_.arrival.kind))
+        fatal("serving resume: snapshot arrival kind %u does not "
+              "match run %u",
+              kind, static_cast<unsigned>(opts_.arrival.kind));
+    want_f64("arrival rate", opts_.arrival.ratePerSec);
+    want_u64("arrival seed", gen_.config().seed);
+    want_f64("burst factor", opts_.arrival.burstFactor);
+    want_f64("burst fraction", opts_.arrival.burstFraction);
+    want_u64("mean burst length", opts_.arrival.meanBurstLen);
+    want_u64("diurnal period", opts_.arrival.diurnalPeriod);
+    want_f64("diurnal depth", opts_.arrival.diurnalDepth);
+    want_f64("misses/request", opts_.missesPerRequest);
+    const bool fixed = r.b();
+    if (fixed != opts_.fixedDemand)
+        fatal("serving resume: snapshot fixedDemand %d does not "
+              "match run %d",
+              fixed ? 1 : 0, opts_.fixedDemand ? 1 : 0);
+    const std::uint32_t ipm = r.u32();
+    if (ipm != opts_.instrPerMiss)
+        fatal("serving resume: snapshot instrPerMiss %u does not "
+              "match run %u",
+              ipm, opts_.instrPerMiss);
+    want_f64("compute CPI", opts_.computeCpi);
+    want_u64("horizon", opts_.horizon);
+    want_u64("max queue", opts_.maxQueue);
+    want_f64("histogram max", opts_.histMaxUs);
+    const std::uint32_t nbuckets = r.u32();
+    if (nbuckets != opts_.histBuckets)
+        fatal("serving resume: snapshot histBuckets %u does not "
+              "match run %u",
+              nbuckets, opts_.histBuckets);
+    const std::uint32_t nworkers = r.u32();
+    if (nworkers != workers_.size())
+        fatal("serving resume: snapshot has %u workers, run has %zu",
+              nworkers, workers_.size());
+
+    gen_.restoreState(r);
+    restoreRng(r, demandRng_);
+    arrivalsClosed_ = r.b();
+
+    arrived_ = r.u64();
+    completed_ = r.u64();
+    dropped_ = r.u64();
+    queuePeak_ = r.u64();
+    latSumUs_ = r.f64();
+    latMaxUs_ = r.f64();
+
+    queue_.clear();
+    const std::uint32_t nq = r.u32();
+    for (std::uint32_t i = 0; i < nq; ++i) {
+        QueuedRequest q;
+        q.arrival = r.u64();
+        q.misses = r.u64();
+        queue_.push_back(q);
+    }
+
+    auto restore_hist = [&r](Histogram &h) {
+        const std::uint64_t under = r.u64();
+        const std::uint64_t over = r.u64();
+        std::vector<std::uint64_t> counts(r.u32(), 0);
+        for (std::uint64_t &c : counts)
+            c = r.u64();
+        h.setCounts(counts, under, over);
+    };
+    restore_hist(latUs_);
+    restore_hist(winUs_);
+
+    for (auto &wk : workers_)
+        wk->restoreState(r);
+}
+
+EventCallback
+ServingFrontEnd::rebuildEvent(std::uint32_t kind, std::uint32_t owner)
+{
+    switch (kind) {
+      case EvServeArrival:
+        return [this] { onArrival(); };
+      case EvServeIssue:
+        if (owner >= workers_.size())
+            fatal("serving resume: issue event owner %u out of range",
+                  owner);
+        return [w = workers_[owner].get()] { w->issueMiss(); };
+      default:
+        panic("ServingFrontEnd: cannot rebuild event kind %u (%s)",
+              kind, eventKindName(kind));
+    }
+}
+
+} // namespace memscale

@@ -102,6 +102,7 @@ SystemConfig::policyContext() const
     ctx.cpuGHz = cpuGHz;
     ctx.epochLen = epochLen;
     ctx.profileLen = profileLen;
+    ctx.sloP99Us = serving.sloP99Us;
     return ctx;
 }
 
@@ -134,6 +135,10 @@ RunResult
 System::run()
 {
     const bool resuming = !cfg_.snapshot.resumePath.empty();
+    const bool serving_mode = cfg_.serving.enabled;
+    if (serving_mode && cfg_.modelCpuPower)
+        fatal("serving: modelCpuPower is a closed-loop extension "
+              "(no per-core stall accounting for serving workers)");
     EventQueue eq(cfg_.kernelMode);
     MemoryController mc(eq, cfg_.mem);
     PolicyContext ctx = cfg_.policyContext();
@@ -244,9 +249,12 @@ System::run()
     if (!resuming)
         mc.startRefresh();
 
-    // Workload construction: numCores instances, four per application
-    // in the mix (or the user's custom profiles), phase schedules
-    // scaled to the instruction budget.
+    // Workload construction.  Serving mode replaces the synthetic
+    // trace cores with an open-loop front end fanning requests across
+    // ServingWorkers; everything below that touches `cores` simply
+    // iterates an empty vector then.  Closed-loop: numCores
+    // instances, four per application in the mix (or the user's
+    // custom profiles), phase schedules scaled to the budget.
     const double phase_scale =
         static_cast<double>(cfg_.instrBudget) /
         static_cast<double>(canonicalBudget);
@@ -257,27 +265,38 @@ System::run()
     std::vector<std::unique_ptr<SyntheticTraceSource>> sources;
     std::vector<std::unique_ptr<Core>> cores;
     std::vector<Core *> core_ptrs;
-    profiles.reserve(cfg_.numCores);
-    Rng seeder(cfg_.seed);
+    std::unique_ptr<ServingFrontEnd> fe;
+    if (serving_mode) {
+        fe = std::make_unique<ServingFrontEnd>(
+            eq, mc, cfg_.serving, cfg_.numCores, cfg_.cpuGHz,
+            cfg_.seed);
+        if (registry)
+            fe->registerStats(*registry, "serving");
+        policy_.attachTailProbe(
+            [f = fe.get()] { return f->tailWindow(); });
+    } else {
+        profiles.reserve(cfg_.numCores);
+        Rng seeder(cfg_.seed);
 
-    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
-        const AppProfile &app =
-            cfg_.customApps.empty()
-                ? appForCore(mixByName(cfg_.mixName), i)
-                : cfg_.customApps[i % cfg_.customApps.size()];
-        profiles.push_back(scaledProfile(app, phase_scale));
-    }
-    CoreParams cp;
-    cp.cpuGHz = cfg_.cpuGHz;
-    cp.instrBudget = cfg_.instrBudget;
-    cp.runPastBudget = false;
-    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
-        Addr base = static_cast<Addr>(i) * region;
-        sources.push_back(std::make_unique<SyntheticTraceSource>(
-            profiles[i], base, cfg_.mem.lineBytes, seeder.next()));
-        cores.push_back(std::make_unique<Core>(
-            eq, i, *sources.back(), mc, cp));
-        core_ptrs.push_back(cores.back().get());
+        for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+            const AppProfile &app =
+                cfg_.customApps.empty()
+                    ? appForCore(mixByName(cfg_.mixName), i)
+                    : cfg_.customApps[i % cfg_.customApps.size()];
+            profiles.push_back(scaledProfile(app, phase_scale));
+        }
+        CoreParams cp;
+        cp.cpuGHz = cfg_.cpuGHz;
+        cp.instrBudget = cfg_.instrBudget;
+        cp.runPastBudget = false;
+        for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+            Addr base = static_cast<Addr>(i) * region;
+            sources.push_back(std::make_unique<SyntheticTraceSource>(
+                profiles[i], base, cfg_.mem.lineBytes, seeder.next()));
+            cores.push_back(std::make_unique<Core>(
+                eq, i, *sources.back(), mc, cp));
+            core_ptrs.push_back(cores.back().get());
+        }
     }
 
     // Trace pre-generation rides the weave pool too, but only when no
@@ -313,16 +332,25 @@ System::run()
         meta.numCores = cfg_.numCores;
         meta.numChannels = cfg_.mem.numChannels;
         meta.ranksPerChannel = cfg_.mem.ranksPerChannel();
-        for (const AppProfile &p : profiles)
-            meta.coreNames.push_back(p.name);
+        if (serving_mode) {
+            for (std::uint32_t i = 0; i < cfg_.numCores; ++i)
+                meta.coreNames.push_back("openloop");
+        } else {
+            for (const AppProfile &p : profiles)
+                meta.coreNames.push_back(p.name);
+        }
         meta.label = cfg_.mixName + "/" + policy_.name();
         recorder->setMeta(std::move(meta));
     }
 
     std::unique_ptr<EpochController> epochs;
     if (policy_.dynamic()) {
-        epochs = std::make_unique<EpochController>(eq, mc, core_ptrs,
-                                                   policy_, ctx);
+        epochs = std::make_unique<EpochController>(
+            eq, mc,
+            serving_mode ? fe->samplers()
+                         : std::vector<CpuSampler *>(core_ptrs.begin(),
+                                                     core_ptrs.end()),
+            policy_, ctx);
         epochs->setBeforeCpuFreqChangeHook(close_interval);
         if (recorder)
             epochs->setRecorder(recorder.get());
@@ -335,6 +363,8 @@ System::run()
     if (!resuming) {
         for (auto &c : cores)
             c->start();
+        if (fe)
+            fe->start();
     }
 
     if (resuming) {
@@ -351,18 +381,28 @@ System::run()
         eq.setNow(sim.u64());
 
         SectionReader mcs = snap.section("mc");
-        std::vector<MemClient *> clients(core_ptrs.begin(),
-                                         core_ptrs.end());
+        std::vector<MemClient *> clients =
+            serving_mode ? fe->clients()
+                         : std::vector<MemClient *>(core_ptrs.begin(),
+                                                    core_ptrs.end());
         mc.restoreState(mcs, clients);
 
-        SectionReader crs = snap.section("cores");
-        const std::uint32_t ncores = crs.u32();
-        if (ncores != cfg_.numCores)
-            fatal("resume: snapshot has %u cores, run has %u", ncores,
-                  cfg_.numCores);
-        for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
-            sources[i]->restoreState(crs);
-            cores[i]->restoreState(crs);
+        // Closed-loop snapshots carry a "cores" section, serving
+        // snapshots a "serving" one; asking for the wrong section is
+        // fatal, which is exactly the cross-mode guard we want.
+        if (serving_mode) {
+            SectionReader svs = snap.section("serving");
+            fe->restoreState(svs);
+        } else {
+            SectionReader crs = snap.section("cores");
+            const std::uint32_t ncores = crs.u32();
+            if (ncores != cfg_.numCores)
+                fatal("resume: snapshot has %u cores, run has %u",
+                      ncores, cfg_.numCores);
+            for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+                sources[i]->restoreState(crs);
+                cores[i]->restoreState(crs);
+            }
         }
 
         SectionReader pw = snap.section("power");
@@ -448,6 +488,13 @@ System::run()
                           "but the policy is static");
                 cb = epochs->rebuildEvent(tag.kind);
                 break;
+              case EvServeArrival:
+              case EvServeIssue:
+                if (!fe)
+                    fatal("resume: snapshot carries a serving event "
+                          "but the run is closed-loop");
+                cb = fe->rebuildEvent(tag.kind, tag.owner);
+                break;
               default:
                 fatal("resume: unknown event kind %u (%s)", tag.kind,
                       eventKindName(tag.kind));
@@ -524,11 +571,15 @@ System::run()
 
         mc.saveState(sw.section("mc"));
 
-        SectionWriter &crs = sw.section("cores");
-        crs.u32(cfg_.numCores);
-        for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
-            sources[i]->saveState(crs);
-            cores[i]->saveState(crs);
+        if (serving_mode) {
+            fe->saveState(sw.section("serving"));
+        } else {
+            SectionWriter &crs = sw.section("cores");
+            crs.u32(cfg_.numCores);
+            for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+                sources[i]->saveState(crs);
+                cores[i]->saveState(crs);
+            }
         }
 
         SectionWriter &pw = sw.section("power");
@@ -591,6 +642,23 @@ System::run()
                     EventClass::Sample, {EvEphemeral});
     }
 
+    // Serving runs end at the arrival horizon, not at an instruction
+    // budget.  The stop is an EvEphemeral Sample-class event: never
+    // exported, re-armed from the config on resume, and ordered after
+    // any same-tick hardware/policy work (Sample runs last), so the
+    // final tick's completions are all counted.  Scheduled after the
+    // checkpoint events so a same-tick `--checkpoint-at` still
+    // writes before the stop.
+    bool horizon_reached = false;
+    if (fe) {
+        eq.schedule(std::max(cfg_.serving.horizon, eq.now()),
+                    [&] {
+                        horizon_reached = true;
+                        eq.stop();
+                    },
+                    EventClass::Sample, {EvEphemeral});
+    }
+
     // Periodic weave flush: static policies never hit an epoch
     // barrier, so without this the shards would grow for the whole
     // run.  A barrier is behaviour-free at any bound-side point, and
@@ -615,7 +683,8 @@ System::run()
     res.stoppedAtCheckpoint = stopped_at_checkpoint;
     res.checkpointsWritten = std::move(checkpoints_written);
     res.hitTimeLimit =
-        done < cfg_.numCores && !stopped_at_checkpoint;
+        serving_mode ? (!horizon_reached && !stopped_at_checkpoint)
+                     : (done < cfg_.numCores && !stopped_at_checkpoint);
     if (res.hitTimeLimit) {
         warn("run %s/%s hit the simulated-time limit (%0.1f ms)",
              cfg_.mixName.c_str(), policy_.name().c_str(),
@@ -632,18 +701,38 @@ System::run()
     res.avgMemPower = integrator.averageMemoryPower();
     res.avgDimmPower = integrator.averageDimmPower();
     res.avgSystemPower = integrator.averagePower();
-    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
-        res.coreCpi.push_back(core_ptrs[i]->budgetCpi());
-        res.coreTlm.push_back(core_ptrs[i]->tlm());
-        res.coreApp.push_back(profiles[i].name);
+    double total_instr = 0.0;
+    if (serving_mode) {
+        for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+            const ServingWorker &w = fe->worker(i);
+            const double instr = static_cast<double>(w.tic(eq.now()));
+            // busyTime is in picoseconds; cycles = ps * GHz / 1000.
+            const double cycles =
+                static_cast<double>(w.busyTime()) * cfg_.cpuGHz /
+                1000.0;
+            res.coreCpi.push_back(instr > 0.0 ? cycles / instr : 0.0);
+            res.coreTlm.push_back(w.tlm());
+            res.coreApp.push_back("openloop");
+            total_instr += instr;
+        }
+        res.serving = fe->stats(eq.now());
+    } else {
+        for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+            res.coreCpi.push_back(core_ptrs[i]->budgetCpi());
+            res.coreTlm.push_back(core_ptrs[i]->tlm());
+            res.coreApp.push_back(profiles[i].name);
+        }
+        total_instr = static_cast<double>(cfg_.instrBudget) *
+                      cfg_.numCores;
     }
-    const double total_instr = static_cast<double>(cfg_.instrBudget) *
-                               cfg_.numCores;
-    res.measuredRpki =
-        1000.0 * static_cast<double>(res.counters.reads) / total_instr;
-    res.measuredWpki =
-        1000.0 * static_cast<double>(res.counters.writes) /
-        total_instr;
+    if (total_instr > 0.0) {
+        res.measuredRpki = 1000.0 *
+                           static_cast<double>(res.counters.reads) /
+                           total_instr;
+        res.measuredWpki = 1000.0 *
+                           static_cast<double>(res.counters.writes) /
+                           total_instr;
+    }
     if (epochs)
         res.timeline = epochs->history();
     if (recorder) {

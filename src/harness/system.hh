@@ -15,6 +15,7 @@
 
 #include "check/protocol_checker.hh"
 #include "common/types.hh"
+#include "harness/serving.hh"
 #include "obs/epoch_recorder.hh"
 #include "mem/config.hh"
 #include "workload/app_profile.hh"
@@ -131,6 +132,14 @@ struct SystemConfig
     };
     SnapshotOptions snapshot;
 
+    /**
+     * Open-loop serving front end (harness/serving).  When enabled,
+     * the synthetic trace cores are replaced by ServingWorkers fed
+     * from an arrival process; the run ends at serving.horizon
+     * instead of at an instruction budget.
+     */
+    ServingOptions serving;
+
     PolicyContext policyContext() const;
 };
 
@@ -172,6 +181,13 @@ struct RunResult
     bool stoppedAtCheckpoint = false;
     std::vector<std::string> checkpointsWritten;
     /// @}
+
+    /**
+     * Open-loop serving metrics (serving runs only; valid is false
+     * otherwise).  Flattened into the differential-harness vector
+     * only when valid, so closed-loop hashes are untouched.
+     */
+    ServingStats serving;
 
     double avgCpi() const;
     double worstCpi() const;

@@ -32,6 +32,12 @@ struct PolicyContext
     double cpuGHz = 4.0;
     Tick epochLen = msToTick(5.0);
     Tick profileLen = usToTick(300.0);
+    /**
+     * Serving-mode p99 latency target in microseconds (0 = none).
+     * Only SLO-aware policies read it; the CPI-slack policies ignore
+     * tail latency entirely.
+     */
+    double sloP99Us = 0.0;
 };
 
 /** Prediction for one candidate frequency. */

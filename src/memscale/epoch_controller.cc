@@ -8,10 +8,10 @@
 namespace memscale
 {
 
-EpochController::EpochController(EventQueue &eq, MemoryController &mc,
-                                 const std::vector<Core *> &cores,
-                                 Policy &policy,
-                                 const PolicyContext &ctx)
+EpochController::EpochController(
+    EventQueue &eq, MemoryController &mc,
+    const std::vector<CpuSampler *> &cores, Policy &policy,
+    const PolicyContext &ctx)
     : eq_(eq), mc_(mc), cores_(cores), policy_(policy), ctx_(ctx)
 {
 }
@@ -24,7 +24,7 @@ EpochController::takeSnapshot()
     s.at = eq_.now();
     s.freq = mc_.frequency();
     s.cores.reserve(cores_.size());
-    for (Core *c : cores_)
+    for (CpuSampler *c : cores_)
         s.cores.push_back(CoreSample{c->tic(s.at), c->tlm()});
     return s;
 }
@@ -76,7 +76,7 @@ EpochController::endProfile()
         cores_[0]->frequencyGHz() != ghz) {
         if (beforeCpuFreqChange_)
             beforeCpuFreqChange_();
-        for (Core *c : cores_)
+        for (CpuSampler *c : cores_)
             c->setFrequencyGHz(ghz);
     }
 

@@ -39,9 +39,15 @@ struct EpochRecord
 class EpochController
 {
   public:
+    /**
+     * The epoch loop samples cores only through the CpuSampler
+     * surface (TIC/TLM counters + clock), so any instruction-retiring
+     * agent can sit behind it — trace-replay Cores or open-loop
+     * serving workers.
+     */
     EpochController(EventQueue &eq, MemoryController &mc,
-                    const std::vector<Core *> &cores, Policy &policy,
-                    const PolicyContext &ctx);
+                    const std::vector<CpuSampler *> &cores,
+                    Policy &policy, const PolicyContext &ctx);
 
     /** Arm the first epoch at the current tick. */
     void start();
@@ -95,7 +101,7 @@ class EpochController
 
     EventQueue &eq_;
     MemoryController &mc_;
-    std::vector<Core *> cores_;
+    std::vector<CpuSampler *> cores_;
     Policy &policy_;
     PolicyContext ctx_;
 

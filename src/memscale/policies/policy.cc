@@ -6,6 +6,7 @@
 #include "memscale/policies/memscale_policy.hh"
 #include "memscale/policies/perchannel_policy.hh"
 #include "memscale/policies/powerdown_policy.hh"
+#include "memscale/policies/slo_policy.hh"
 #include "memscale/policies/static_policy.hh"
 
 namespace memscale
@@ -55,6 +56,8 @@ makePolicy(const std::string &name)
         return std::make_unique<PerChannelMemScalePolicy>();
     if (name == "coscale")
         return std::make_unique<CoScalePolicy>();
+    if (name == "slo")
+        return std::make_unique<SloPolicy>();
     fatal("unknown policy '%s'", name.c_str());
 }
 
@@ -64,7 +67,7 @@ policyNames()
     return {"baseline", "static", "fastpd", "slowpd", "srpd",
             "throttle", "decoupled", "memscale",
             "memscale-memenergy", "memscale-fastpd",
-            "memscale-perchannel"};
+            "memscale-perchannel", "slo"};
 }
 
 } // namespace memscale

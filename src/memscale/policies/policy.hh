@@ -11,6 +11,7 @@
 #ifndef MEMSCALE_MEMSCALE_POLICIES_POLICY_HH
 #define MEMSCALE_MEMSCALE_POLICIES_POLICY_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "mem/controller.hh"
 #include "memscale/energy_model.hh"
 #include "memscale/perf_model.hh"
+#include "memscale/tail_window.hh"
 
 namespace memscale
 {
@@ -103,6 +105,19 @@ class Policy
     {
         (void)reg;
         (void)prefix;
+    }
+
+    /**
+     * Serving runs: give the policy a probe into the front end's
+     * windowed tail-latency statistics.  Calling the probe consumes
+     * the window, so a policy should read it exactly once per
+     * selectFrequency.  Default: ignore it — CPI-slack policies work
+     * unchanged under open-loop load.
+     */
+    virtual void
+    attachTailProbe(std::function<TailWindow()> probe)
+    {
+        (void)probe;
     }
 
     /**

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Tail-latency window sample: what an SLO-aware policy reads from the
+ * serving front end at each profiling boundary.
+ *
+ * Lives in its own header so the policy layer and the serving harness
+ * can share the type without depending on each other.
+ */
+
+#ifndef MEMSCALE_MEMSCALE_TAIL_WINDOW_HH
+#define MEMSCALE_MEMSCALE_TAIL_WINDOW_HH
+
+#include <cstdint>
+
+namespace memscale
+{
+
+/**
+ * Latency statistics over the window since the previous probe call
+ * (the probe consumes the window: reading it resets the underlying
+ * histogram).  Latencies are end-to-end — arrival to last-miss
+ * completion — in microseconds.
+ */
+struct TailWindow
+{
+    std::uint64_t completions = 0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    double meanUs = 0.0;
+    /** Requests waiting in the front-end queue right now. */
+    std::uint64_t queued = 0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_MEMSCALE_TAIL_WINDOW_HH

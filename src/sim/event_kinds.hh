@@ -33,6 +33,8 @@ enum EventKind : std::uint32_t
     EvChanRefreshDone = 9, ///< tRFC elapsed, refresh complete
     EvEpochEndProfile = 10, ///< profiling window closes
     EvEpochEndEpoch = 11,   ///< epoch closes, next one begins
+    EvServeArrival = 12,    ///< open-loop front end: next request lands
+    EvServeIssue = 13,      ///< serving worker compute segment ends
     /**
      * Meta-events of the checkpoint machinery itself (the periodic
      * snapshot writer).  Never exported: a resumed run re-creates its
@@ -58,6 +60,8 @@ eventKindName(std::uint32_t kind)
       case EvChanRefreshDone: return "chan.refreshDone";
       case EvEpochEndProfile: return "epoch.endProfile";
       case EvEpochEndEpoch: return "epoch.endEpoch";
+      case EvServeArrival: return "serve.arrival";
+      case EvServeIssue: return "serve.issue";
       case EvEphemeral: return "ephemeral";
       default: return "unknown";
     }

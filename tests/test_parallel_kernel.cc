@@ -123,6 +123,37 @@ TEST(ParallelKernel, EpochBoundaryChurnUnderStrictChecker)
     }
 }
 
+TEST(ParallelKernel, OpenLoopServingBitIdenticalAcrossThreads)
+{
+    // The serving front end (arrivals, queueing, per-request latency
+    // histograms) runs entirely in the bound phase, so the open-loop
+    // digest — which folds in every ServingStats field — must be
+    // bit-identical at any thread count, protocol checker attached.
+    for (ArrivalKind kind : {ArrivalKind::Poisson, ArrivalKind::Bursty,
+                             ArrivalKind::Diurnal}) {
+        SystemConfig cfg;
+        cfg.mixName = "OPENLOOP";
+        cfg.numCores = 8;
+        cfg.epochLen = msToTick(0.1);
+        cfg.profileLen = usToTick(10.0);
+        cfg.seed = 12345;
+        cfg.mem.numChannels = 8;
+        cfg.protocolCheck = true;
+        cfg.serving.enabled = true;
+        cfg.serving.arrival.kind = kind;
+        cfg.serving.arrival.ratePerSec = 2.0e6;
+        cfg.serving.horizon = msToTick(0.5);
+        cfg.serving.sloP99Us = 3.0;
+
+        const std::uint64_t serial = hashAt(cfg, "slo", 1);
+        for (unsigned threads : {2u, 4u}) {
+            EXPECT_EQ(hashAt(cfg, "slo", threads), serial)
+                << arrivalKindName(kind)
+                << " diverged at threads=" << threads;
+        }
+    }
+}
+
 TEST(ParallelKernel, ThreadDiffHarnessIsClean)
 {
     DifferentialHarness diff(4);

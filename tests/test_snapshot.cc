@@ -336,6 +336,153 @@ TEST(ResumeEquivalence, AllPoliciesMidRunCheckpoint)
     }
 }
 
+namespace
+{
+
+/** Open-loop scenario sized like snapConfig (see test_serving). */
+SystemConfig
+servingConfig(ArrivalKind kind)
+{
+    SystemConfig cfg;
+    cfg.mixName = "OPENLOOP";
+    cfg.numCores = 8;
+    cfg.epochLen = msToTick(0.1);
+    cfg.profileLen = usToTick(10.0);
+    cfg.seed = 12345;
+    cfg.serving.enabled = true;
+    cfg.serving.arrival.kind = kind;
+    cfg.serving.arrival.ratePerSec = 2.0e6;
+    cfg.serving.horizon = msToTick(0.5);
+    cfg.serving.sloP99Us = 3.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ResumeEquivalence, ServingMidRunCheckpoint)
+{
+    // The open-loop path adds a whole new section's worth of state —
+    // generator Rng + MMPP dwell, demand Rng, the request queue,
+    // in-flight workers, both latency histograms — and ServingStats
+    // fields join the flattened digest, so a cut anywhere must still
+    // land bit-identical.  Every arrival process, CPI-bound and
+    // SLO policies, fuzzed cuts.
+    std::vector<std::pair<ArrivalKind, std::string>> cases = {
+        {ArrivalKind::Poisson, "memscale"},
+        {ArrivalKind::Poisson, "slo"},
+        {ArrivalKind::Bursty, "slo"},
+        {ArrivalKind::Diurnal, "slo"},
+    };
+    SweepEngine eng;
+    std::vector<EquivOutcome> outs = eng.map<EquivOutcome>(
+        cases.size(), [&](std::size_t i) {
+            SystemConfig cfg = servingConfig(cases[i].first);
+            cfg.mixName = std::string("OPENLOOP-") +
+                          arrivalKindName(cases[i].first);
+            return checkResume(cfg, cases[i].second, 500 + i);
+        });
+    for (const EquivOutcome &o : outs) {
+        EXPECT_EQ(o.shardedHash, o.fullHash)
+            << o.label << " cut@" << o.cut;
+        EXPECT_TRUE(o.fieldsEqual) << o.label << " cut@" << o.cut;
+        EXPECT_TRUE(o.csvEqual) << o.label << " cut@" << o.cut;
+    }
+}
+
+TEST(ResumeEquivalence, ServingBurstyChainOfCuts)
+{
+    // Three cuts through a bursty run: with ~50 us burst dwells in a
+    // 500 us horizon the cuts land inside dwell states, so the MMPP
+    // position (inBurst_/stateEnd_) must round-trip exactly — a
+    // drifted dwell clock shifts every later arrival and the digest.
+    SystemConfig cfg = servingConfig(ArrivalKind::Bursty);
+    cfg.observe = true;
+    RunResult full = runPolicy(cfg, "slo", kRestWatts);
+    ASSERT_GT(full.serving.completed, 0u);
+
+    const Tick t = full.runtime;
+    const std::string prefix = scratch("serving_chain");
+    RunResult sharded = runPolicySharded(
+        cfg, "slo", kRestWatts, {t / 4, t / 2, (3 * t) / 4}, prefix);
+    removeShards(prefix, 3);
+
+    EXPECT_EQ(hashRunResult(sharded), hashRunResult(full));
+    EXPECT_TRUE(flattenRunResult(full) == flattenRunResult(sharded));
+    ASSERT_TRUE(full.obs && sharded.obs);
+    EXPECT_EQ(full.obs->toCsv(), sharded.obs->toCsv());
+}
+
+TEST(ResumeEquivalence, ServingResumeRejectsMismatchedArrival)
+{
+    // The serving section carries its own config fingerprint: a
+    // snapshot resumed under a different traffic scenario must be
+    // refused loudly, not replayed into a silently-wrong tail.
+    const std::string path = scratch("serving_mismatch.snap");
+    SystemConfig cfg = servingConfig(ArrivalKind::Bursty);
+    cfg.snapshot.at = msToTick(0.1);
+    cfg.snapshot.stopAfter = true;
+    cfg.snapshot.out = path;
+    runPolicy(cfg, "slo", kRestWatts);
+
+    auto resume = [&](SystemConfig rcfg) {
+        rcfg.snapshot = {};
+        rcfg.snapshot.resumePath = path;
+        return fatalMessage([&] { runPolicy(rcfg, "slo", kRestWatts); });
+    };
+
+    EXPECT_EQ(resume(servingConfig(ArrivalKind::Bursty)), "");
+
+    SystemConfig other = servingConfig(ArrivalKind::Poisson);
+    std::string msg = resume(other);
+    EXPECT_NE(msg.find("serving resume"), std::string::npos) << msg;
+
+    other = servingConfig(ArrivalKind::Bursty);
+    other.serving.arrival.ratePerSec = 1.0e6;
+    msg = resume(other);
+    EXPECT_NE(msg.find("serving resume"), std::string::npos) << msg;
+
+    other = servingConfig(ArrivalKind::Bursty);
+    other.serving.missesPerRequest = 4.0;
+    msg = resume(other);
+    EXPECT_NE(msg.find("serving resume"), std::string::npos) << msg;
+
+    std::remove(path.c_str());
+}
+
+TEST(ResumeEquivalence, ServingAndClosedLoopSnapshotsDontCross)
+{
+    // Closed-loop snapshots carry a "cores" section, serving ones a
+    // "serving" section; resuming across modes must fail on the
+    // missing section, never silently construct the wrong workload.
+    const std::string cl = scratch("closedloop.snap");
+    SystemConfig cfg = snapConfig("MID3");
+    cfg.snapshot.at = msToTick(0.1);
+    cfg.snapshot.stopAfter = true;
+    cfg.snapshot.out = cl;
+    runPolicy(cfg, "slo", kRestWatts);
+
+    SystemConfig srv = servingConfig(ArrivalKind::Poisson);
+    srv.snapshot.resumePath = cl;
+    EXPECT_NE(fatalMessage([&] { runPolicy(srv, "slo", kRestWatts); }),
+              "");
+
+    const std::string sv = scratch("servingmode.snap");
+    SystemConfig scfg = servingConfig(ArrivalKind::Poisson);
+    scfg.snapshot.at = msToTick(0.1);
+    scfg.snapshot.stopAfter = true;
+    scfg.snapshot.out = sv;
+    runPolicy(scfg, "slo", kRestWatts);
+
+    SystemConfig closed = snapConfig("MID3");
+    closed.snapshot.resumePath = sv;
+    EXPECT_NE(
+        fatalMessage([&] { runPolicy(closed, "slo", kRestWatts); }),
+        "");
+
+    std::remove(cl.c_str());
+    std::remove(sv.c_str());
+}
+
 TEST(ResumeEquivalence, ChainOfThreeCuts)
 {
     // Shard -> resume -> shard -> resume -> shard -> finish: state

@@ -128,6 +128,156 @@ TEST(HistogramPercentile, ResetClearsEverything)
     EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
 }
 
+TEST(HistogramPercentile, FractionalRankRoundsUp)
+{
+    // 100 samples, one per bucket.  p=0.29 needs the 29th-smallest
+    // sample (nearest-rank ceil), which sits in bucket 28 with upper
+    // edge 29.  0.29 * 100 evaluates to 28.999... in binary; a
+    // truncating target would step a whole rank down and report 28.
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.29), 29.0);
+    // A genuinely fractional rank also rounds up: p=0.95 over 10
+    // samples needs ceil(9.5) = 10 of them.
+    Histogram t(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        t.add(i + 0.5);
+    EXPECT_DOUBLE_EQ(t.percentile(0.95), 10.0);
+}
+
+TEST(HistogramPercentile, SingleSample)
+{
+    Histogram h(0.0, 1000.0, 1000);
+    h.add(123.4);
+    // Every non-zero percentile needs that one sample; its bucket
+    // [123, 124) answers them all.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 124.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 124.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.999), 124.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 124.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+}
+
+TEST(HistogramPercentile, SparseTailP999)
+{
+    // Tail-latency shape: almost all mass near zero, a handful of
+    // stragglers far out.  9990 fast + 10 slow samples: p99.9 is the
+    // 9990th sample (still fast), p99.95 and up must walk into the
+    // sparse tail instead of stopping at the bulk.
+    Histogram h(0.0, 1000.0, 1000);
+    for (int i = 0; i < 9990; ++i)
+        h.add(1.5);
+    for (int i = 0; i < 10; ++i)
+        h.add(900.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.999), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.9995), 901.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 901.0);
+    // A single extreme straggler among 499 fast samples: p99.9 over
+    // 500 samples is rank ceil(499.5) = 500 — the straggler itself.
+    Histogram one(0.0, 1000.0, 1000);
+    for (int i = 0; i < 499; ++i)
+        one.add(1.5);
+    one.add(700.25);
+    EXPECT_DOUBLE_EQ(one.percentile(0.999), 701.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram::merge
+// ---------------------------------------------------------------------------
+
+TEST(HistogramMerge, MergeThenPercentileMatchesSerial)
+{
+    // Property: shard-and-merge is *exactly* the serial histogram —
+    // counts are integers, so there is no rounding story at all.
+    Rng rng(0xBEEF);
+    for (int trial = 0; trial < 20; ++trial) {
+        Histogram serial(0.0, 100.0, 200);
+        std::vector<Histogram> shards(1 + rng.below(6),
+                                      Histogram(0.0, 100.0, 200));
+        std::size_t n = 100 + rng.below(3000);
+        for (std::size_t i = 0; i < n; ++i) {
+            double x = rng.uniform(-5.0, 110.0);
+            serial.add(x);
+            shards[rng.below(shards.size())].add(x);
+        }
+        Histogram merged(0.0, 100.0, 200);
+        for (const Histogram &s : shards)
+            merged.merge(s);
+        EXPECT_EQ(merged.count(), serial.count());
+        EXPECT_EQ(merged.underflow(), serial.underflow());
+        EXPECT_EQ(merged.overflow(), serial.overflow());
+        EXPECT_EQ(merged.buckets(), serial.buckets());
+        for (double p : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+            EXPECT_DOUBLE_EQ(merged.percentile(p),
+                             serial.percentile(p))
+                << "trial " << trial << " p=" << p;
+        }
+    }
+}
+
+TEST(HistogramMerge, PercentileThenMergeDiverges)
+{
+    // The anti-pattern Histogram::merge exists to prevent: averaging
+    // per-shard percentiles.  Two shards with disjoint mass — one all
+    // fast, one all slow — give a mean-of-p99s of ~(2 + 901)/2, while
+    // the true merged p99 over 1000+2 samples is still fast.  Any
+    // cross-shard tail statistic must merge counts first.
+    Histogram fast(0.0, 1000.0, 1000);
+    for (int i = 0; i < 1000; ++i)
+        fast.add(1.5);
+    Histogram slow(0.0, 1000.0, 1000);
+    slow.add(900.5);
+    slow.add(900.5);
+
+    double averaged =
+        (fast.percentile(0.99) + slow.percentile(0.99)) / 2.0;
+
+    Histogram merged(0.0, 1000.0, 1000);
+    merged.merge(fast);
+    merged.merge(slow);
+    // Serial reference over the union of samples.
+    Histogram serial(0.0, 1000.0, 1000);
+    for (int i = 0; i < 1000; ++i)
+        serial.add(1.5);
+    serial.add(900.5);
+    serial.add(900.5);
+
+    EXPECT_DOUBLE_EQ(merged.percentile(0.99), serial.percentile(0.99));
+    EXPECT_DOUBLE_EQ(merged.percentile(0.99), 2.0);
+    EXPECT_GT(averaged, 100.0);   // wildly off the true tail
+}
+
+TEST(HistogramMerge, GeometryMismatchIsFatal)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram range(0.0, 20.0, 10);
+    Histogram bins(0.0, 10.0, 20);
+    EXPECT_THROW(a.merge(range), FatalError);
+    EXPECT_THROW(a.merge(bins), FatalError);
+    Histogram ok(0.0, 10.0, 10);
+    ok.add(5.0);
+    a.merge(ok);
+    EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(HistogramMerge, SetCountsRoundTrip)
+{
+    // setCounts (the checkpoint-restore path) must reproduce the
+    // source histogram exactly, including the recomputed total.
+    Histogram src(0.0, 50.0, 25);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        src.add(rng.uniform(-10.0, 60.0));
+    Histogram dst(0.0, 50.0, 25);
+    dst.setCounts(src.buckets(), src.underflow(), src.overflow());
+    EXPECT_EQ(dst.count(), src.count());
+    for (double p : {0.25, 0.5, 0.99, 0.999})
+        EXPECT_DOUBLE_EQ(dst.percentile(p), src.percentile(p));
+    std::vector<std::uint64_t> wrong(7, 0);
+    EXPECT_THROW(dst.setCounts(wrong, 0, 0), FatalError);
+}
+
 // ---------------------------------------------------------------------------
 // Accumulator::merge serial-equivalence property
 // ---------------------------------------------------------------------------
