@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "check/protocol_checker.hh"
@@ -333,4 +334,40 @@ BENCHMARK(BM_WeavePhase);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Standard google-benchmark main plus one convenience flag: --reps N
+ * expands to --benchmark_repetitions=N with aggregates-only reporting,
+ * so scripts/perf_compare.py (and the CI perf smoke step) can ask for
+ * median-of-N without spelling out the benchmark library's flags.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    std::string reps_flag, aggr_flag;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        std::string a = args[i];
+        std::string n;
+        if (a.rfind("--reps=", 0) == 0) {
+            n = a.substr(7);
+            args.erase(args.begin() + i);
+        } else if (a == "--reps" && i + 1 < args.size()) {
+            n = args[i + 1];
+            args.erase(args.begin() + i, args.begin() + i + 2);
+        } else {
+            continue;
+        }
+        reps_flag = "--benchmark_repetitions=" + n;
+        aggr_flag = "--benchmark_report_aggregates_only=true";
+        args.push_back(reps_flag.data());
+        args.push_back(aggr_flag.data());
+        break;
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -159,6 +159,17 @@ class Channel
     void setId(std::uint32_t id) { id_ = id; }
     std::uint32_t id() const { return id_; }
 
+    /**
+     * EventQueue lane this channel's service events ride in: tagged
+     * channel-kind events route by owner, so the lane is a pure
+     * function of the id.  Recorded with the weave task so a worker
+     * can later be pointed at the matching per-channel sub-queue.
+     */
+    std::uint32_t laneId() const
+    {
+        return id_ & (EventQueue::MaxLanes - 1);
+    }
+
     /** @name Checkpoint/restore */
     /// @{
     /** Serialize scheduler, bank/rank, and queue state (queues as

@@ -161,7 +161,8 @@ MemoryController::attachWeave(WeaveHub *hub)
         ch->setWeave(hub != nullptr);
         if (hub) {
             Channel *c = ch.get();
-            hub->addTask([c] { c->weaveDrain(); });
+            hub->addTask([c] { c->weaveDrain(); },
+                         WeaveScope::Accounting, c->laneId());
         }
     }
 }

@@ -15,6 +15,7 @@
 #define MEMSCALE_SIM_CALLBACK_HH
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -49,8 +50,7 @@ class EventCallback
     EventCallback(EventCallback &&o) noexcept
     {
         if (o.ops_) {
-            o.ops_->relocate(buf_, o.buf_);
-            ops_ = o.ops_;
+            relocateFrom(o);
             o.ops_ = nullptr;
         }
     }
@@ -61,8 +61,7 @@ class EventCallback
         if (this != &o) {
             reset();
             if (o.ops_) {
-                o.ops_->relocate(buf_, o.buf_);
-                ops_ = o.ops_;
+                relocateFrom(o);
                 o.ops_ = nullptr;
             }
         }
@@ -78,7 +77,8 @@ class EventCallback
     reset() noexcept
     {
         if (ops_) {
-            ops_->destroy(buf_);
+            if (!ops_->trivial)
+                ops_->destroy(buf_);
             ops_ = nullptr;
         }
     }
@@ -106,7 +106,25 @@ class EventCallback
         /** Move-construct into dst from src, then destroy src. */
         void (*relocate)(void *dst, void *src) noexcept;
         void (*destroy)(void *) noexcept;
+        /**
+         * Inline capture with trivial copy and destruction: relocate
+         * degenerates to a fixed-size memcpy and destroy to a no-op.
+         * Nearly every callback the simulator schedules qualifies, so
+         * the move/destroy paths branch on this flag instead of paying
+         * an indirect call whose target varies with the capture type.
+         */
+        bool trivial;
     };
+
+    void
+    relocateFrom(EventCallback &o) noexcept
+    {
+        if (o.ops_->trivial)
+            std::memcpy(buf_, o.buf_, InlineCapacity);
+        else
+            o.ops_->relocate(buf_, o.buf_);
+        ops_ = o.ops_;
+    }
 
     template <typename D>
     static constexpr bool
@@ -128,6 +146,8 @@ class EventCallback
         [](void *p) noexcept {
             std::launder(reinterpret_cast<D *>(p))->~D();
         },
+        std::is_trivially_copyable_v<D> &&
+            std::is_trivially_destructible_v<D>,
     };
 
     template <typename D>
@@ -137,6 +157,7 @@ class EventCallback
             *reinterpret_cast<D **>(dst) = *reinterpret_cast<D **>(src);
         },
         [](void *p) noexcept { delete *reinterpret_cast<D **>(p); },
+        false,
     };
 
     alignas(std::max_align_t) unsigned char buf_[InlineCapacity];

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.hh"
 #include "sim/event_kinds.hh"
@@ -11,14 +12,30 @@ namespace memscale
 namespace
 {
 
-/** Comparator turning std::*_heap (max-heap by default) into a min-heap. */
-struct EntryGreater
+/**
+ * The hierarchy never compares entries across sub-queues except at
+ * the ladder, so these two comparators are the whole ordering story:
+ * Lt for sorts/sorted-inserts, Gt to turn std::*_heap into min-heaps.
+ */
+struct Lt
 {
     template <typename E>
     bool
     operator()(const E &a, const E &b) const
     {
-        return a > b;
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.key < b.key;
+    }
+};
+
+struct Gt
+{
+    template <typename E>
+    bool
+    operator()(const E &a, const E &b) const
+    {
+        return Lt{}(b, a);
     }
 };
 
@@ -50,6 +67,18 @@ EventQueue::releaseSlot(std::uint32_t idx)
     freeHead_ = idx;
 }
 
+std::uint32_t
+EventQueue::laneFor(const EventTag &tag)
+{
+    // Channel-local kinds are a contiguous run in event_kinds.hh;
+    // owner is the channel index.  Aliasing (owner & 63) keeps the
+    // lane table bounded and is order-neutral: the ladder always pops
+    // the global (when, class, seq) minimum.
+    if (tag.kind - EvChanBankClosed <= EvChanRefreshDone - EvChanBankClosed)
+        return tag.owner & (MaxLanes - 1);
+    return NoLane;
+}
+
 EventId
 EventQueue::schedule(Tick when, EventCallback fn, EventClass cls,
                      EventTag tag)
@@ -64,20 +93,382 @@ EventQueue::schedule(Tick when, EventCallback fn, EventClass cls,
     s.tag = tag;
     s.live = true;
     std::uint64_t seq = nextSeq_++;
-    Entry e{when, seq, slot, s.gen, static_cast<std::uint8_t>(cls)};
+    Entry e{when,
+            (static_cast<std::uint64_t>(cls) << ClsShift) | seq,
+            (static_cast<std::uint64_t>(s.gen) << 32) | slot};
     if (mode_ == KernelMode::Reference) {
         // Sorted insert, descending, so the soonest event is at the
         // back.  upper_bound keeps ties (impossible: seq is unique)
         // stable either way.
-        auto pos = std::upper_bound(heap_.begin(), heap_.end(), e,
-                                    EntryGreater{});
+        auto pos =
+            std::upper_bound(heap_.begin(), heap_.end(), e, Gt{});
         heap_.insert(pos, e);
     } else {
-        heap_.push_back(e);
-        std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+        // Adaptive routing (placement only — order is the global
+        // (when, class, seq) minimum wherever an entry sits).  Lanes
+        // win when channel traffic has the queue to itself: the
+        // calendar stays empty, the ladder degenerates to the lane
+        // tops, and a pop is a cursor bump.  Once the calendar is
+        // busy (core issue / epoch / arrival events), splitting the
+        // same population across both structures just adds ladder
+        // bookkeeping to every pop, so channel events share the
+        // calendar instead — unless the backlog is large enough that
+        // the lanes' O(1) append/pop beats bucket sorting outright.
+        std::uint32_t lane = (calEntries_ <= CalBusyMax ||
+                              pending_ >= laneThreshold_)
+                                 ? laneFor(tag)
+                                 : NoLane;
+        s.lane = lane;
+        if (lane != NoLane) {
+            placeLane(lane, e);
+        } else {
+            placeCalendar(e);
+            ++calEntries_;
+        }
     }
     ++pending_;
-    return (static_cast<EventId>(s.gen) << 32) | slot;
+    return e.id;
+}
+
+void
+EventQueue::placeLane(std::uint32_t lane, const Entry &e)
+{
+    if (lane >= lanes_.size())
+        lanes_.resize(lane + 1);
+    Lane &L = lanes_[lane];
+    if (L.v.empty() || !Lt{}(e, L.v.back())) {
+        // Common case: channel service events arrive in near-increasing
+        // time order, so the new entry is the latest and appends.
+        L.v.push_back(e);
+    } else {
+        auto pos = std::upper_bound(L.v.begin() + L.head, L.v.end(),
+                                    e, Lt{});
+        L.v.insert(pos, e);
+    }
+    std::uint64_t bit = std::uint64_t(1) << lane;
+    if (!(laneMask_ & bit) || Lt{}(e, laneTop_[lane])) {
+        laneTop_[lane] = e;
+        // New head: it can only take the cached tournament win by
+        // beating the current winner (same-lane updates keep it).
+        if (laneWinValid_ && Lt{}(e, laneTop_[laneWinLane_]))
+            laneWinLane_ = lane;
+    }
+    laneMask_ |= bit;
+}
+
+void
+EventQueue::placeCalendar(const Entry &e)
+{
+    // Ladder invalidation rule 1: an insert can only change the
+    // calendar minimum by *becoming* it, so the cached head stays
+    // valid across inserts (bucket ranges are disjoint and ordered,
+    // hence an entry in an earlier bucket always compares lower).
+    if (calHeadValid_ && Lt{}(e, calHead_))
+        calHead_ = e;
+    std::uint64_t x = (e.when >> Shift0) ^ (wheelNow_ >> Shift0);
+    unsigned lvl = 0;
+    if (x != 0) {
+        lvl = (63u - static_cast<unsigned>(std::countl_zero(x))) /
+              LevelBits;
+        if (lvl >= NumLevels) {
+            // Beyond the wheel horizon (~2^48 ticks): overflow heap.
+            overflow_.push_back(e);
+            std::push_heap(overflow_.begin(), overflow_.end(), Gt{});
+            return;
+        }
+    }
+    Wheel &w = wheels_[lvl];
+    if (w.b.empty())
+        w.b.resize(BucketsPerLevel);
+    unsigned shift = Shift0 + LevelBits * lvl;
+    unsigned idx =
+        static_cast<unsigned>(e.when >> shift) & (BucketsPerLevel - 1);
+    auto &v = w.b[idx];
+    if (x == 0 && curSorted_) {
+        // Scheduling into the bucket under the cursor: keep the live
+        // region sorted so a same-tick lower-class event lands exactly
+        // where the cursor reads next.
+        auto pos = std::upper_bound(v.begin() + curPos_, v.end(), e,
+                                    Lt{});
+        v.insert(pos, e);
+    } else {
+        v.push_back(e);
+    }
+    w.occ |= std::uint64_t(1) << idx;
+}
+
+const EventQueue::Entry *
+EventQueue::calendarHead()
+{
+    // Ladder invalidation rule 2: validity implies liveness — the
+    // cancel path invalidates on an id match and lane-routed events
+    // can never alias a calendar entry — so a valid rung needs no
+    // slot-generation re-check here.
+    if (calHeadValid_)
+        return &calHead_;
+    calHeadValid_ = scanCalendar(calHead_);
+    return calHeadValid_ ? &calHead_ : nullptr;
+}
+
+bool
+EventQueue::scanCalendar(Entry &out)
+{
+    bool found = false;
+    // 1. The bucket under the cursor (sorted, O(1) head).
+    Wheel &w0 = wheels_[0];
+    unsigned curIdx = static_cast<unsigned>(wheelNow_ >> Shift0) &
+                      (BucketsPerLevel - 1);
+    if (w0.occ & (std::uint64_t(1) << curIdx)) {
+        auto &v = w0.b[curIdx];
+        if (curSorted_) {
+            while (curPos_ < v.size() && !liveEntry(v[curPos_])) {
+                ++curPos_;
+                --stale_;
+                --calEntries_;
+            }
+            if (curPos_ < v.size()) {
+                out = v[curPos_];
+                return true;
+            }
+        } else {
+            for (const Entry &e : v) {
+                if (!liveEntry(e))
+                    continue;
+                if (!found || Lt{}(e, out)) {
+                    out = e;
+                    found = true;
+                }
+            }
+            if (found)
+                return true;
+            stale_ -= v.size();
+            calEntries_ -= v.size();
+        }
+        // Exhausted (or all-stale leftovers): retire the bucket.
+        v.clear();
+        w0.occ &= ~(std::uint64_t(1) << curIdx);
+        curSorted_ = false;
+        curPos_ = 0;
+    }
+    // 2. Wheel levels, nearest first.  Live entries at level l are
+    //    strictly after the consumption point and inside the same
+    //    level-(l+1) bucket as wheelNow_, so bucket index order *is*
+    //    time order and the first occupied bucket of the lowest
+    //    occupied level holds the wheel minimum.  (Bits at or behind
+    //    the current position can only be cancelled leftovers; the
+    //    sweep reclaims them.)
+    for (unsigned lvl = 0; lvl < NumLevels && !found; ++lvl) {
+        Wheel &w = wheels_[lvl];
+        if (!w.occ)
+            continue;
+        unsigned shift = Shift0 + LevelBits * lvl;
+        unsigned pos = static_cast<unsigned>(wheelNow_ >> shift) &
+                       (BucketsPerLevel - 1);
+        std::uint64_t mask =
+            pos + 1 >= BucketsPerLevel
+                ? 0
+                : w.occ & (~std::uint64_t(0) << (pos + 1));
+        while (mask) {
+            unsigned idx =
+                static_cast<unsigned>(std::countr_zero(mask));
+            mask &= mask - 1;
+            auto &v = w.b[idx];
+            for (const Entry &e : v) {
+                if (!liveEntry(e))
+                    continue;
+                if (!found || Lt{}(e, out)) {
+                    out = e;
+                    found = true;
+                }
+            }
+            if (found)
+                break;
+            // All-stale bucket: reclaim it on the way past.
+            stale_ -= v.size();
+            calEntries_ -= v.size();
+            v.clear();
+            w.occ &= ~(std::uint64_t(1) << idx);
+        }
+    }
+    // 3. Overflow.  Entries that were beyond the horizon when
+    //    scheduled may have come inside it since, so the overflow top
+    //    competes with the wheel candidate instead of being assumed
+    //    later.
+    while (!overflow_.empty() && !liveEntry(overflow_.front())) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), Gt{});
+        overflow_.pop_back();
+        --stale_;
+        --calEntries_;
+    }
+    if (!overflow_.empty() &&
+        (!found || Lt{}(overflow_.front(), out))) {
+        out = overflow_.front();
+        found = true;
+    }
+    return found;
+}
+
+void
+EventQueue::popCalendar(const Entry &head)
+{
+    calHeadValid_ = false;
+    // Overflow-resident head pops straight off that heap.
+    if (!overflow_.empty() && overflow_.front().id == head.id) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), Gt{});
+        overflow_.pop_back();
+        --calEntries_;
+        return;
+    }
+    for (;;) {
+        std::uint64_t x = (head.when >> Shift0) ^ (wheelNow_ >> Shift0);
+        if (x == 0) {
+            // head lives in the bucket under the cursor: sort on
+            // first touch, then consume through curPos_.
+            unsigned curIdx =
+                static_cast<unsigned>(head.when >> Shift0) &
+                (BucketsPerLevel - 1);
+            auto &v = wheels_[0].b[curIdx];
+            if (!curSorted_) {
+                std::sort(v.begin(), v.end(), Lt{});
+                curSorted_ = true;
+                curPos_ = 0;
+            }
+            while (curPos_ < v.size() && !liveEntry(v[curPos_])) {
+                ++curPos_;
+                --stale_;
+                --calEntries_;
+            }
+            // head is the wheel minimum, so it is the first live entry.
+            ++curPos_;
+            --calEntries_;
+            if (curPos_ >= v.size()) {
+                v.clear();
+                wheels_[0].occ &= ~(std::uint64_t(1) << curIdx);
+                curSorted_ = false;
+                curPos_ = 0;
+            } else if (liveEntry(v[curPos_])) {
+                // Refresh the ladder rung without a rescan.
+                calHead_ = v[curPos_];
+                calHeadValid_ = true;
+            }
+            return;
+        }
+        unsigned lvl = (63u - static_cast<unsigned>(
+                                  std::countl_zero(x))) /
+                       LevelBits;
+        if (lvl == 0) {
+            // Enter head's bucket; nothing live precedes it (the scan
+            // that produced `head` cleared everything earlier).
+            wheelNow_ = head.when & ~((Tick(1) << Shift0) - 1);
+            curSorted_ = false;
+            curPos_ = 0;
+            continue;
+        }
+        // Advance into head's higher-level bucket and scatter it one
+        // step down; placement of the scattered entries is relative
+        // to the new wheelNow_, so they land at levels below `lvl`.
+        unsigned shift = Shift0 + LevelBits * lvl;
+        unsigned idx = static_cast<unsigned>(head.when >> shift) &
+                       (BucketsPerLevel - 1);
+        Wheel &w = wheels_[lvl];
+        wheelNow_ = (head.when >> shift) << shift;
+        curSorted_ = false;
+        curPos_ = 0;
+        auto &v = w.b[idx];
+        for (const Entry &e : v) {
+            if (liveEntry(e)) {
+                placeCalendar(e);  // touches only levels < lvl
+            } else {
+                --stale_;  // scatter drops corpses for free
+                --calEntries_;
+            }
+        }
+        v.clear();
+        w.occ &= ~(std::uint64_t(1) << idx);
+    }
+}
+
+void
+EventQueue::popLane(std::uint32_t lane)
+{
+    ++lanes_[lane].head;
+    purgeLane(lane);
+}
+
+void
+EventQueue::purgeLane(std::uint32_t lane)
+{
+    // The head of this lane is changing (pop or cancelled corpse);
+    // if it held the cached tournament win, force a rescan.  Heads of
+    // other lanes only ever grow here, which cannot steal the win.
+    if (laneWinValid_ && lane == laneWinLane_)
+        laneWinValid_ = false;
+    Lane &L = lanes_[lane];
+    while (L.head < L.v.size() && !liveEntry(L.v[L.head])) {
+        // A skipped corpse is never revisited: the cursor consumes it.
+        ++L.head;
+        --stale_;
+    }
+    if (L.head >= L.v.size()) {
+        L.v.clear();
+        L.head = 0;
+        laneMask_ &= ~(std::uint64_t(1) << lane);
+        return;
+    }
+    if (L.head >= 64 && L.head * 2 >= L.v.size()) {
+        L.v.erase(L.v.begin(), L.v.begin() + L.head);
+        L.head = 0;
+    }
+    laneTop_[lane] = L.v[L.head];
+}
+
+EventQueue::Source
+EventQueue::findMin()
+{
+    // The tournament reads only trusted-live heads: the calendar rung
+    // is invalidated on cancel and every lane purges corpses off its
+    // top as they appear (cancel of a head, pop exposing one), so no
+    // slot generations are consulted here.
+    Source src;
+    if (calEntries_ != 0) {
+        if (const Entry *c = calendarHead()) {
+            src.kind = Source::Calendar;
+            src.e = *c;
+        }
+    }
+    if (laneMask_ != 0) {
+        if (!laneWinValid_) {
+            std::uint64_t mask = laneMask_;
+            std::uint32_t best = NoLane;
+            while (mask) {
+                unsigned l =
+                    static_cast<unsigned>(std::countr_zero(mask));
+                mask &= mask - 1;
+                if (best == NoLane ||
+                    Lt{}(laneTop_[l], laneTop_[best])) {
+                    best = l;
+                }
+            }
+            laneWinLane_ = best;
+            laneWinValid_ = true;
+        }
+        const Entry &top = laneTop_[laneWinLane_];
+        if (src.kind == Source::None || Lt{}(top, src.e)) {
+            src.kind = Source::InLane;
+            src.lane = laneWinLane_;
+            src.e = top;
+        }
+    }
+    return src;
+}
+
+void
+EventQueue::popSource(const Source &src)
+{
+    if (src.kind == Source::Calendar)
+        popCalendar(src.e);
+    else
+        popLane(src.lane);
 }
 
 bool
@@ -93,8 +484,7 @@ EventQueue::cancel(EventId id)
         // Eager cancellation: remove the entry immediately.
         auto it = std::find_if(heap_.begin(), heap_.end(),
                                [&](const Entry &e) {
-                                   return e.slot == slot &&
-                                          e.gen == gen;
+                                   return e.id == id;
                                });
         if (it != heap_.end())
             heap_.erase(it);
@@ -103,72 +493,175 @@ EventQueue::cancel(EventId id)
         return true;
     }
     // Lazy cancellation: destroy the callback and recycle the slot now
-    // (the generation bump marks the heap entry stale); the entry
-    // itself is purged when it reaches the top or at compaction.
+    // (the generation bump marks the ordering entry stale); the entry
+    // itself is skipped when the cursor or a heap top reaches it, or
+    // reclaimed wholesale by the sweep.
+    std::uint32_t lane = slots_[slot].lane;
     releaseSlot(slot);
     --pending_;
     ++stale_;
-    maybeCompact();
+    if (lane != NoLane) {
+        // Keep the "lane tops are live" invariant the ladder relies
+        // on: if the corpse is the lane head, purge it (and any
+        // corpses it was shadowing) right now.
+        purgeLane(lane);
+    } else if (calHeadValid_ && calHead_.id == id) {
+        calHeadValid_ = false;
+    }
+    maybeSweep();
     return true;
 }
 
 void
-EventQueue::purgeTop()
+EventQueue::maybeSweep()
 {
-    while (!heap_.empty() && !liveEntry(heap_.front())) {
-        std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
-        heap_.pop_back();
-        --stale_;
-    }
+    // After heavy cancel churn stale entries can dominate; one pass
+    // over every sub-queue is O(n) and keeps memory bounded by the
+    // live event count.  Erasure preserves relative order (and heaps
+    // are rebuilt), so pop order is unaffected.
+    if (stale_ < 64 || stale_ * 2 < pending_ + stale_)
+        return;
+    sweep();
 }
 
 void
-EventQueue::maybeCompact()
+EventQueue::sweep()
 {
-    // After heavy cancel churn stale entries can dominate the heap;
-    // filtering and re-heapifying is O(n) and keeps memory bounded by
-    // the live event count.  The rebuilt heap pops in the exact same
-    // (tick, class, seq) order, so results are unaffected.
-    if (stale_ < 64 || stale_ * 2 < heap_.size())
-        return;
-    std::erase_if(heap_, [this](const Entry &e) { return !liveEntry(e); });
-    std::make_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    auto dead = [this](const Entry &e) { return !liveEntry(e); };
+    std::size_t cal = 0;
+    for (Wheel &w : wheels_) {
+        if (w.b.empty())
+            continue;
+        std::uint64_t occ = 0;
+        for (unsigned i = 0; i < BucketsPerLevel; ++i) {
+            auto &v = w.b[i];
+            std::erase_if(v, dead);
+            if (!v.empty()) {
+                occ |= std::uint64_t(1) << i;
+                cal += v.size();
+            }
+        }
+        w.occ = occ;
+    }
+    // The consumed prefix of the cursor bucket was erased with the
+    // corpses (popped slots are dead too), and erase_if keeps the
+    // remaining live region sorted, so the cursor restarts at 0.
+    curPos_ = 0;
+    std::uint64_t mask = 0;
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+        Lane &L = lanes_[l];
+        L.v.erase(L.v.begin(), L.v.begin() + L.head);
+        L.head = 0;
+        // erase_if preserves order, so the live region stays sorted.
+        std::erase_if(L.v, dead);
+        if (!L.v.empty()) {
+            mask |= std::uint64_t(1) << l;
+            laneTop_[l] = L.v.front();
+        }
+    }
+    laneMask_ = mask;
+    laneWinValid_ = false;
+    std::erase_if(overflow_, dead);
+    std::make_heap(overflow_.begin(), overflow_.end(), Gt{});
+    calEntries_ = cal + overflow_.size();
     stale_ = 0;
-}
-
-const EventQueue::Entry *
-EventQueue::peek() const
-{
-    if (heap_.empty())
-        return nullptr;
-    return mode_ == KernelMode::Reference ? &heap_.back()
-                                          : &heap_.front();
+    // calHead_ is a value copy of a live entry; it stays the minimum.
 }
 
 bool
 EventQueue::step()
 {
-    purgeTop();
-    if (heap_.empty())
-        return false;
     Entry e;
     if (mode_ == KernelMode::Reference) {
+        if (heap_.empty())
+            return false;
         e = heap_.back();
         heap_.pop_back();
     } else {
-        e = heap_.front();
-        std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
-        heap_.pop_back();
+        Source src = findMin();
+        if (src.kind == Source::None)
+            return false;
+        popSource(src);
+        e = src.e;
     }
     // Release the slot before invoking so the callback can freely
     // schedule new events (possibly reusing this slot) and so
     // cancelling the in-flight id is a no-op, as documented.
-    EventCallback fn = std::move(slots_[e.slot].fn);
-    releaseSlot(e.slot);
+    EventCallback fn = std::move(slots_[entrySlot(e)].fn);
+    releaseSlot(entrySlot(e));
     --pending_;
     now_ = e.when;
     fn();
     return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    stopped_ = false;
+    std::uint64_t executed = 0;
+    if (mode_ == KernelMode::Reference) {
+        while (!stopped_ && !heap_.empty() &&
+               heap_.back().when <= limit) {
+            Entry e = heap_.back();
+            heap_.pop_back();
+            EventCallback fn = std::move(slots_[entrySlot(e)].fn);
+            releaseSlot(entrySlot(e));
+            --pending_;
+            now_ = e.when;
+            fn();
+            ++executed;
+        }
+    } else {
+        while (!stopped_) {
+            Source src = findMin();
+            if (src.kind == Source::None || src.e.when > limit)
+                break;
+            popSource(src);
+            EventCallback fn =
+                std::move(slots_[entrySlot(src.e)].fn);
+            releaseSlot(entrySlot(src.e));
+            --pending_;
+            now_ = src.e.when;
+            fn();
+            ++executed;
+        }
+    }
+    // Advance the clock to the horizon unless stopped early; any
+    // remaining events all lie beyond it.
+    if (!stopped_ && limit != MaxTick && now_ < limit)
+        now_ = limit;
+    return executed;
+}
+
+void
+EventQueue::gatherLive(std::vector<Entry> &out) const
+{
+    for (const Wheel &w : wheels_)
+        for (const auto &v : w.b)
+            for (const Entry &e : v)
+                if (liveEntry(e))
+                    out.push_back(e);
+    for (const Entry &e : overflow_)
+        if (liveEntry(e))
+            out.push_back(e);
+    for (const Lane &l : lanes_)
+        for (std::size_t i = l.head; i < l.v.size(); ++i)
+            if (liveEntry(l.v[i]))
+                out.push_back(l.v[i]);
+}
+
+std::size_t
+EventQueue::lanePending(std::uint32_t lane) const
+{
+    if (lane >= lanes_.size())
+        return 0;
+    const Lane &l = lanes_[lane];
+    std::size_t n = 0;
+    for (std::size_t i = l.head; i < l.v.size(); ++i)
+        if (liveEntry(l.v[i]))
+            ++n;
+    return n;
 }
 
 std::vector<PendingEvent>
@@ -177,36 +670,33 @@ EventQueue::exportPending() const
     if (exportGuard_ && !exportGuard_())
         fatal("checkpoint: exportPending inside a half-woven "
               "interval; drain the weave barrier before cutting");
-    // Collect live entries with their ordering keys, sort by execution
-    // order, then strip the keys: the restore side re-schedules in this
-    // order with fresh sequences, which reproduces every same-tick
-    // tie-break.
-    struct Keyed
-    {
-        Entry e;
-        EventTag tag;
-    };
-    std::vector<Keyed> live;
+    // Collect live entries from every sub-queue, sort by execution
+    // order, then emit their tags: the restore side re-schedules in
+    // this order with fresh sequences, which reproduces every
+    // same-tick tie-break regardless of which sub-queue an event
+    // originally sat in.
+    std::vector<Entry> live;
     live.reserve(pending_);
-    for (const Entry &e : heap_) {
-        if (!liveEntry(e))
-            continue;
-        live.push_back({e, slots_[e.slot].tag});
+    if (mode_ == KernelMode::Reference) {
+        for (const Entry &e : heap_)
+            live.push_back(e);
+    } else {
+        gatherLive(live);
     }
-    std::sort(live.begin(), live.end(),
-              [](const Keyed &a, const Keyed &b) { return b.e > a.e; });
+    std::sort(live.begin(), live.end(), Lt{});
     std::vector<PendingEvent> out;
     out.reserve(live.size());
-    for (const Keyed &k : live) {
-        if (k.tag.kind == EvEphemeral)
+    for (const Entry &e : live) {
+        const EventTag &tag = slots_[entrySlot(e)].tag;
+        if (tag.kind == EvEphemeral)
             continue;
-        if (k.tag.kind == EvNone)
+        if (tag.kind == EvNone)
             fatal("checkpoint: untagged event pending at tick %llu "
                   "(class %u) cannot be serialized",
-                  static_cast<unsigned long long>(k.e.when),
-                  static_cast<unsigned>(k.e.cls));
-        out.push_back({k.e.when, static_cast<EventClass>(k.e.cls),
-                       k.tag});
+                  static_cast<unsigned long long>(e.when),
+                  static_cast<unsigned>(entryCls(e)));
+        out.push_back(
+            {e.when, static_cast<EventClass>(entryCls(e)), tag});
     }
     return out;
 }
@@ -214,11 +704,38 @@ EventQueue::exportPending() const
 void
 EventQueue::clearPending()
 {
-    for (const Entry &e : heap_) {
-        if (liveEntry(e))
-            releaseSlot(e.slot);
+    if (mode_ == KernelMode::Reference) {
+        for (const Entry &e : heap_)
+            releaseSlot(entrySlot(e));
+        heap_.clear();
+    } else {
+        for (Wheel &w : wheels_) {
+            for (auto &v : w.b) {
+                for (const Entry &e : v)
+                    if (liveEntry(e))
+                        releaseSlot(entrySlot(e));
+                v.clear();
+            }
+            w.occ = 0;
+        }
+        for (const Entry &e : overflow_)
+            if (liveEntry(e))
+                releaseSlot(entrySlot(e));
+        overflow_.clear();
+        for (Lane &l : lanes_) {
+            for (std::size_t i = l.head; i < l.v.size(); ++i)
+                if (liveEntry(l.v[i]))
+                    releaseSlot(entrySlot(l.v[i]));
+            l.v.clear();
+            l.head = 0;
+        }
+        laneMask_ = 0;
+        laneWinValid_ = false;
+        curPos_ = 0;
+        curSorted_ = false;
+        calHeadValid_ = false;
+        calEntries_ = 0;
     }
-    heap_.clear();
     pending_ = 0;
     stale_ = 0;
 }
@@ -232,27 +749,13 @@ EventQueue::setNow(Tick t)
         panic("EventQueue::setNow moving backwards (%llu -> %llu)",
               static_cast<unsigned long long>(now_),
               static_cast<unsigned long long>(t));
+    if (mode_ == KernelMode::Fast && stale_ != 0)
+        sweep();  // leftover corpses would sit behind the new anchor
     now_ = t;
-}
-
-std::uint64_t
-EventQueue::runUntil(Tick limit)
-{
-    stopped_ = false;
-    std::uint64_t executed = 0;
-    while (!stopped_) {
-        purgeTop();
-        const Entry *next = peek();
-        if (!next || next->when > limit)
-            break;
-        if (step())
-            ++executed;
-    }
-    // Advance the clock to the horizon unless stopped early; any
-    // remaining events all lie beyond it.
-    if (!stopped_ && limit != MaxTick && now_ < limit)
-        now_ = limit;
-    return executed;
+    wheelNow_ = t;
+    curPos_ = 0;
+    curSorted_ = false;
+    calHeadValid_ = false;
 }
 
 } // namespace memscale

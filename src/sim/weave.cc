@@ -12,10 +12,21 @@ WeaveHub::setRunner(WeaveRunner runner)
 }
 
 std::size_t
-WeaveHub::addTask(std::function<void()> task)
+WeaveHub::addTask(std::function<void()> task, WeaveScope scope,
+                  std::uint32_t lane)
 {
-    tasks_.push_back(std::move(task));
+    tasks_.push_back({std::move(task), scope, lane});
     return tasks_.size() - 1;
+}
+
+std::size_t
+WeaveHub::tasks(WeaveScope scope) const
+{
+    std::size_t n = 0;
+    for (const Task &t : tasks_)
+        if (t.scope == scope)
+            ++n;
+    return n;
 }
 
 void
@@ -26,10 +37,32 @@ WeaveHub::barrier()
     ++barriers_;
     if (runner_) {
         runner_(tasks_.size(),
-                [this](std::size_t i) { tasks_[i](); });
+                [this](std::size_t i) { tasks_[i].fn(); });
     } else {
         for (auto &t : tasks_)
-            t();
+            t.fn();
+    }
+}
+
+void
+WeaveHub::barrier(WeaveScope scope)
+{
+    // Dispatch over the dense task list but skip other scopes inside
+    // the worker, so task indices (and thus which worker runs which
+    // channel) stay stable no matter which scopes exist.
+    std::size_t n = tasks(scope);
+    if (n == 0)
+        return;
+    ++barriers_;
+    if (runner_) {
+        runner_(tasks_.size(), [this, scope](std::size_t i) {
+            if (tasks_[i].scope == scope)
+                tasks_[i].fn();
+        });
+    } else {
+        for (auto &t : tasks_)
+            if (t.scope == scope)
+                t.fn();
     }
 }
 

@@ -40,19 +40,42 @@ namespace memscale
 using WeaveRunner = std::function<void(
     std::size_t, const std::function<void(std::size_t)> &)>;
 
+/**
+ * What a weave task drains.  Accounting tasks (protocol replay, rank
+ * residency integration, trace prefetch) are behaviour-free and may
+ * run at any barrier.  Service tasks are the widened scope the
+ * per-channel event lanes enable: a worker draining one channel's
+ * pending service events between bound-phase deadlines.  They are
+ * registered per-lane so a future scheduler can match workers to
+ * EventQueue lanes; today the bound thread still pops every lane, so
+ * no Service tasks are registered yet — the scope plumbing is what
+ * keeps that extension from being another cross-layer refactor.
+ */
+enum class WeaveScope : std::uint8_t
+{
+    Accounting = 0,
+    Service = 1,
+};
+
 class WeaveHub
 {
   public:
+    /** Tasks not bound to an EventQueue lane use this. */
+    static constexpr std::uint32_t NoLane = ~std::uint32_t(0);
+
     /** Install the parallel runner; nullptr-like empty runs inline. */
     void setRunner(WeaveRunner runner);
 
     /**
      * Register a weave task (e.g. one channel's drain, one core's
      * prefetch refill).  Tasks must touch disjoint state: they run
-     * concurrently with each other during a barrier.  Returns the
-     * task index.
+     * concurrently with each other during a barrier.  `lane` records
+     * which EventQueue lane the task services (NoLane if none).
+     * Returns the task index.
      */
-    std::size_t addTask(std::function<void()> task);
+    std::size_t addTask(std::function<void()> task,
+                        WeaveScope scope = WeaveScope::Accounting,
+                        std::uint32_t lane = NoLane);
 
     /**
      * Run every registered task to completion.  Safe to call at any
@@ -61,11 +84,28 @@ class WeaveHub
      */
     void barrier();
 
+    /** Run only the tasks of one scope to completion. */
+    void barrier(WeaveScope scope);
+
     std::size_t tasks() const { return tasks_.size(); }
+    std::size_t tasks(WeaveScope scope) const;
     std::uint64_t barriers() const { return barriers_; }
 
+    /** Lane recorded for task `i` (NoLane if unbound). */
+    std::uint32_t taskLane(std::size_t i) const
+    {
+        return tasks_[i].lane;
+    }
+
   private:
-    std::vector<std::function<void()>> tasks_;
+    struct Task
+    {
+        std::function<void()> fn;
+        WeaveScope scope = WeaveScope::Accounting;
+        std::uint32_t lane = NoLane;
+    };
+
+    std::vector<Task> tasks_;
     WeaveRunner runner_;
     std::uint64_t barriers_ = 0;
 };
