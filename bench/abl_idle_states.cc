@@ -2,10 +2,12 @@
  * @file
  * The paper's motivating argument (Sections 1 and 5) quantified: idle
  * low-power states and throttling cannot match active low-power modes
- * on servers because rank-level idleness is scarce.  Compares fast-
- * exit powerdown, slow-exit powerdown, self-refresh powerdown (deepest
- * idle state), bandwidth throttling, and MemScale across the three
- * workload classes.
+ * on servers because rank-level idleness is scarce.  Compares the
+ * whole DDR3 idle ladder — fast-exit powerdown, slow-exit powerdown,
+ * self-refresh, self-refresh with slow clock, deep powerdown, and the
+ * adaptive demotion policy that walks ranks down those rungs — plus
+ * bandwidth throttling, MemScale, and MemScale composed with the
+ * ladder, across the three workload classes.
  */
 
 #include "bench_common.hh"
@@ -23,7 +25,8 @@ main(int argc, char **argv)
                 cfg);
 
     const std::vector<std::string> policies = {
-        "fastpd", "slowpd", "srpd", "throttle", "memscale"};
+        "fastpd", "slowpd",  "srpd",     "srslowpd", "deeppd",
+        "ladder", "throttle", "memscale", "memscale-ladder"};
     const std::vector<const char *> mixnames = {"ILP2", "MID2", "MEM2"};
 
     std::vector<SystemConfig> cfgs;
@@ -36,8 +39,9 @@ main(int argc, char **argv)
         comparePolicyGrid(eng, cfgs, bases, policies);
 
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
-        Table t({"policy", "rank idle (pre-PD) time", "sys saved",
-                 "mem saved", "worst CPI incr"});
+        Table t({"policy", "rank idle (pre-PD) time", "deep idle time",
+                 "demotions", "sys saved", "mem saved",
+                 "worst CPI incr"});
         for (std::size_t p = 0; p < policies.size(); ++p) {
             const ComparisonResult &r = results[p * cfgs.size() + i];
             const McCounters &mc = r.policy.counters;
@@ -46,7 +50,16 @@ main(int argc, char **argv)
                     ? static_cast<double>(mc.rankPrePdTime) /
                           static_cast<double>(mc.rankTime)
                     : 0.0;
-            t.addRow({policies[p], pct(pd_frac),
+            // Self-refresh and below: the rungs this PR added.
+            double deep_frac =
+                mc.rankTime
+                    ? static_cast<double>(mc.rankSrTime +
+                                          mc.rankSrSlowTime +
+                                          mc.rankDeepPdTime) /
+                          static_cast<double>(mc.rankTime)
+                    : 0.0;
+            t.addRow({policies[p], pct(pd_frac), pct(deep_frac),
+                      std::to_string(mc.pdDemotions),
                       pct(r.sysEnergySavings),
                       pct(r.memEnergySavings),
                       pct(r.worstCpiIncrease)});

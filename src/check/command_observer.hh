@@ -64,8 +64,15 @@ struct DramCmdEvent
     Tick burstEnd = 0;
     /// @}
 
-    /** PowerdownEnter detail: deepest state self-refreshes itself. */
+    /** PowerdownEnter detail: the entered state self-refreshes. */
     bool selfRefresh = false;
+
+    /**
+     * PowerdownEnter detail: exact rung of the idle ladder entered
+     * (mirrors `RankIdleState`; 0 = Up is never announced).  A deeper
+     * re-announce while already entered is a demotion.
+     */
+    std::uint8_t pdState = 0;
 };
 
 class CommandObserver

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "dram/rank.hh"
 #include "snapshot/serializer.hh"
 
 namespace memscale
@@ -454,9 +455,22 @@ ProtocolChecker::checkRefresh(const DramCmdEvent &ev, ChannelState &cs)
         }
     }
     if (rs.pdEnter != MaxTick && ev.at >= rs.pdEnter) {
-        record(cs, ev, "powerdown",
-               format("refresh while CKE low (since tick %llu)",
-                      static_cast<unsigned long long>(rs.pdEnter)));
+        // A rank in self-refresh (or deeper) refreshes internally; an
+        // external REF there is a distinct protocol error from plain
+        // command-while-CKE-low.
+        if (rs.pdState >=
+            static_cast<std::uint8_t>(RankIdleState::SelfRefresh)) {
+            record(cs, ev, "refresh-in-selfrefresh",
+                   format("external refresh while rank self-refreshes "
+                          "in %s (since tick %llu)",
+                          rankIdleStateName(
+                              static_cast<RankIdleState>(rs.pdState)),
+                          static_cast<unsigned long long>(rs.pdEnter)));
+        } else {
+            record(cs, ev, "powerdown",
+                   format("refresh while CKE low (since tick %llu)",
+                          static_cast<unsigned long long>(rs.pdEnter)));
+        }
     } else if (ev.at < rs.pdReady) {
         record(cs, ev, "powerdown-exit",
                format("refresh before powerdown exit latency elapses "
@@ -522,19 +536,78 @@ ProtocolChecker::onCommand(const DramCmdEvent &ev)
         break;
       case DramCmd::PowerdownEnter: {
         RankState &rs = rank(cs, ev.rank);
-        rs.pdEnter = ev.at;
-        if (ev.selfRefresh)
+        // Resolve the announced rung; legacy announcers only carry
+        // the selfRefresh bool.
+        std::uint8_t state = ev.pdState;
+        if (state == 0) {
+            state = static_cast<std::uint8_t>(
+                ev.selfRefresh ? RankIdleState::SelfRefresh
+                               : RankIdleState::FastPd);
+        }
+        if (rs.pdEnter != MaxTick) {
+            // Re-announce while already entered: legal only as a
+            // demotion strictly down the ladder (CKE never rose, so
+            // no exit latency was paid in between).
+            if (state <= rs.pdState) {
+                record(cs, ev, "pd-transition",
+                       format("re-enter to %s while already in %s "
+                              "(since tick %llu); only strictly "
+                              "deeper demotions are legal without an "
+                              "exit",
+                              rankIdleStateName(
+                                  static_cast<RankIdleState>(state)),
+                              rankIdleStateName(
+                                  static_cast<RankIdleState>(
+                                      rs.pdState)),
+                              static_cast<unsigned long long>(
+                                  rs.pdEnter)));
+            }
+            rs.pdState = std::max(rs.pdState, state);
+        } else {
+            rs.pdEnter = ev.at;
+            rs.pdState = state;
+            rs.pdParked = ev.at < cs.relockEnd;
+        }
+        if (selfRefreshing(static_cast<RankIdleState>(rs.pdState)))
             rs.selfRefreshSinceRefresh = true;
         break;
       }
       case DramCmd::PowerdownExit: {
         RankState &rs = rank(cs, ev.rank);
+        if (rs.pdEnter == MaxTick) {
+            record(cs, ev, "pd-transition",
+                   "powerdown exit with no matching enter announced");
+        } else {
+            // The wake must pay the deepest reached rung's datasheet
+            // exit latency -- unless the whole residency sits inside
+            // a frequency re-lock window, whose quiescence already
+            // covers (and exceeds) the wake.
+            const TimingParams &tp = paramsAt(cs, ev.at);
+            const Tick need = idleExitLatency(
+                static_cast<RankIdleState>(rs.pdState), tp);
+            const bool in_relock =
+                rs.pdParked && ev.at <= cs.relockEnd;
+            if (!in_relock && ev.doneAt < ev.at + need) {
+                record(cs, ev, "pd-exit-latency",
+                       format("exit from %s ready after %llu ticks; "
+                              "datasheet latency is %llu",
+                              rankIdleStateName(
+                                  static_cast<RankIdleState>(
+                                      rs.pdState)),
+                              static_cast<unsigned long long>(
+                                  ev.doneAt - ev.at),
+                              static_cast<unsigned long long>(need)));
+            }
+        }
         rs.pdEnter = MaxTick;
+        rs.pdState = 0;
+        rs.pdParked = false;
         rs.pdReady = std::max(rs.pdReady, ev.doneAt);
         break;
       }
       case DramCmd::Relock: {
         ++cs.relockCount;
+        cs.relockEnd = std::max(cs.relockEnd, ev.doneAt);
         cs.relocks.emplace_back(ev.at, ev.doneAt);
         if (cs.relocks.size() > MaxRelockWindows)
             cs.relocks.erase(cs.relocks.begin());
@@ -586,6 +659,7 @@ ProtocolChecker::saveState(SectionWriter &w) const
             w.u64(rw.first);
             w.u64(rw.second);
         }
+        w.u64(cs.relockEnd);
         w.u64(cs.lastBurstEnd);
         w.u32(static_cast<std::uint32_t>(cs.ranks.size()));
         for (const RankState &rs : cs.ranks) {
@@ -609,6 +683,8 @@ ProtocolChecker::saveState(SectionWriter &w) const
                 w.b(bs.cmdSeen);
             }
             w.u64(rs.pdEnter);
+            w.u8(rs.pdState);
+            w.b(rs.pdParked);
             w.u64(rs.pdReady);
             w.u64(rs.lastRefreshStart);
             w.b(rs.refreshSeen);
@@ -646,6 +722,7 @@ ProtocolChecker::restoreState(SectionReader &r)
             rw.first = r.u64();
             rw.second = r.u64();
         }
+        cs.relockEnd = r.u64();
         cs.lastBurstEnd = r.u64();
         cs.ranks.assign(r.u32(), RankState{});
         for (RankState &rs : cs.ranks) {
@@ -669,6 +746,8 @@ ProtocolChecker::restoreState(SectionReader &r)
                 bs.cmdSeen = r.b();
             }
             rs.pdEnter = r.u64();
+            rs.pdState = r.u8();
+            rs.pdParked = r.b();
             rs.pdReady = r.u64();
             rs.lastRefreshStart = r.u64();
             rs.refreshSeen = r.b();

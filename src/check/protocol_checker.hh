@@ -142,6 +142,20 @@ class ProtocolChecker : public CommandObserver
         std::vector<BankState> banks;
         /** Open CKE-low window start, or MaxTick when powered up. */
         Tick pdEnter = MaxTick;
+        /**
+         * Deepest idle-ladder rung announced for the open CKE-low
+         * window (mirrors RankIdleState; 0 while powered up).  A
+         * re-announce must be strictly deeper (a demotion), and the
+         * eventual exit must pay this rung's latency.
+         */
+        std::uint8_t pdState = 0;
+        /**
+         * The open CKE-low window began inside a re-lock quiescence
+         * (the channel force-parks awake ranks there); its exit at
+         * the window edge is exempt from the exit-latency rule, since
+         * the re-lock stall itself covers the wake.
+         */
+        bool pdParked = false;
         /** Exit-ready tick of the last powerdown exit. */
         Tick pdReady = 0;
         Tick lastRefreshStart = 0;
@@ -155,6 +169,13 @@ class ProtocolChecker : public CommandObserver
         std::vector<std::pair<Tick, TimingParams>> timings;
         /** Re-lock quiescence windows [start, end), ascending. */
         std::vector<std::pair<Tick, Tick>> relocks;
+        /**
+         * Furthest quiescence end announced so far.  Unlike the
+         * bounded `relocks` list (which back-to-back re-locks can
+         * evict from), this scalar never forgets, so the parked-rank
+         * exemption stays sound under re-lock storms.
+         */
+        Tick relockEnd = 0;
         Tick lastBurstEnd = 0;
         std::vector<RankState> ranks;
 

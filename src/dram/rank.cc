@@ -9,6 +9,34 @@
 namespace memscale
 {
 
+const char *
+rankIdleStateName(RankIdleState s)
+{
+    switch (s) {
+      case RankIdleState::Up:          return "up";
+      case RankIdleState::FastPd:      return "fast-pd";
+      case RankIdleState::SlowPd:      return "slow-pd";
+      case RankIdleState::SelfRefresh: return "self-refresh";
+      case RankIdleState::SrSlowClock: return "sr-slow-clock";
+      case RankIdleState::DeepPd:      return "deep-pd";
+    }
+    return "?";
+}
+
+Tick
+idleExitLatency(RankIdleState s, const TimingParams &tp)
+{
+    switch (s) {
+      case RankIdleState::Up:          return 0;
+      case RankIdleState::FastPd:      return tp.tXP;
+      case RankIdleState::SlowPd:      return tp.tXPDLL;
+      case RankIdleState::SelfRefresh: return tp.tXS;
+      case RankIdleState::SrSlowClock: return tp.tXSDLL;
+      case RankIdleState::DeepPd:      return tp.tXDP;
+    }
+    return 0;
+}
+
 RankActivity
 RankActivity::operator-(const RankActivity &o) const
 {
@@ -17,6 +45,8 @@ RankActivity::operator-(const RankActivity &o) const
     r.prePowerdownTime = prePowerdownTime - o.prePowerdownTime;
     r.slowPowerdownTime = slowPowerdownTime - o.slowPowerdownTime;
     r.selfRefreshTime = selfRefreshTime - o.selfRefreshTime;
+    r.srSlowClockTime = srSlowClockTime - o.srSlowClockTime;
+    r.deepPowerdownTime = deepPowerdownTime - o.deepPowerdownTime;
     r.actStandbyTime = actStandbyTime - o.actStandbyTime;
     r.actPowerdownTime = actPowerdownTime - o.actPowerdownTime;
     r.totalTime = totalTime - o.totalTime;
@@ -37,6 +67,8 @@ RankActivity::operator+=(const RankActivity &o)
     prePowerdownTime += o.prePowerdownTime;
     slowPowerdownTime += o.slowPowerdownTime;
     selfRefreshTime += o.selfRefreshTime;
+    srSlowClockTime += o.srSlowClockTime;
+    deepPowerdownTime += o.deepPowerdownTime;
     actStandbyTime += o.actStandbyTime;
     actPowerdownTime += o.actPowerdownTime;
     totalTime += o.totalTime;
@@ -84,6 +116,8 @@ RankActivity::saveState(SectionWriter &w) const
     w.u64(prePowerdownTime);
     w.u64(slowPowerdownTime);
     w.u64(selfRefreshTime);
+    w.u64(srSlowClockTime);
+    w.u64(deepPowerdownTime);
     w.u64(actStandbyTime);
     w.u64(actPowerdownTime);
     w.u64(totalTime);
@@ -103,6 +137,8 @@ RankActivity::restoreState(SectionReader &r)
     prePowerdownTime = r.u64();
     slowPowerdownTime = r.u64();
     selfRefreshTime = r.u64();
+    srSlowClockTime = r.u64();
+    deepPowerdownTime = r.u64();
     actStandbyTime = r.u64();
     actPowerdownTime = r.u64();
     totalTime = r.u64();
@@ -125,9 +161,7 @@ Rank::saveState(SectionWriter &w) const
     activity_.saveState(w);
     w.u64(lastUpdate_);
     w.u32(openBanks_);
-    w.b(ckeLow_);
-    w.b(slowExit_);
-    w.b(selfRefresh_);
+    w.u8(static_cast<std::uint8_t>(idle_));
     w.u32(numRecentActs_);
     for (std::uint32_t i = 0; i < numRecentActs_; ++i)
         w.u64(recentActs_[i]);
@@ -139,9 +173,10 @@ Rank::restoreState(SectionReader &r)
     activity_.restoreState(r);
     lastUpdate_ = r.u64();
     openBanks_ = r.u32();
-    ckeLow_ = r.b();
-    slowExit_ = r.b();
-    selfRefresh_ = r.b();
+    const std::uint8_t s = r.u8();
+    if (s > static_cast<std::uint8_t>(RankIdleState::DeepPd))
+        fatal("Rank restore: idle state %u out of range", s);
+    idle_ = static_cast<RankIdleState>(s);
     numRecentActs_ = r.u32();
     if (numRecentActs_ > recentActs_.size())
         fatal("Rank restore: %u recent ACTs exceeds window of %zu",
@@ -152,8 +187,7 @@ Rank::restoreState(SectionReader &r)
 }
 
 void
-Rank::integrate(Tick now, std::uint32_t open_banks, bool low,
-                bool slow, bool sr)
+Rank::integrate(Tick now, std::uint32_t open_banks, RankIdleState state)
 {
     if (now < lastUpdate_)
         panic("Rank accounting timestamp regressed (%llu < %llu)",
@@ -165,17 +199,32 @@ Rank::integrate(Tick now, std::uint32_t open_banks, bool low,
         return;
     activity_.totalTime += dt;
     if (open_banks == 0) {
-        if (low) {
-            activity_.prePowerdownTime += dt;
-            if (sr)
-                activity_.selfRefreshTime += dt;
-            else if (slow)
-                activity_.slowPowerdownTime += dt;
-        } else {
+        switch (state) {
+          case RankIdleState::Up:
             activity_.preStandbyTime += dt;
+            break;
+          case RankIdleState::FastPd:
+            activity_.prePowerdownTime += dt;
+            break;
+          case RankIdleState::SlowPd:
+            activity_.prePowerdownTime += dt;
+            activity_.slowPowerdownTime += dt;
+            break;
+          case RankIdleState::SelfRefresh:
+            activity_.prePowerdownTime += dt;
+            activity_.selfRefreshTime += dt;
+            break;
+          case RankIdleState::SrSlowClock:
+            activity_.prePowerdownTime += dt;
+            activity_.srSlowClockTime += dt;
+            break;
+          case RankIdleState::DeepPd:
+            activity_.prePowerdownTime += dt;
+            activity_.deepPowerdownTime += dt;
+            break;
         }
     } else {
-        if (low)
+        if (state != RankIdleState::Up)
             activity_.actPowerdownTime += dt;
         else
             activity_.actStandbyTime += dt;
@@ -185,7 +234,7 @@ Rank::integrate(Tick now, std::uint32_t open_banks, bool low,
 void
 Rank::sync(Tick now)
 {
-    integrate(now, openBanks_, ckeLow_, slowExit_, selfRefresh_);
+    integrate(now, openBanks_, idle_);
 }
 
 void
@@ -193,8 +242,7 @@ Rank::noteTransition(Tick at)
 {
     // Record the *pre*-transition state; the drain replays exactly
     // the branch sync() would have taken here.
-    deferLog_.push_back(
-        {at, openBanks_, ckeLow_, slowExit_, selfRefresh_});
+    deferLog_.push_back({at, openBanks_, idle_});
 }
 
 void
@@ -211,8 +259,7 @@ void
 Rank::drainDeferred()
 {
     for (const DeferredTransition &t : deferLog_)
-        integrate(t.at, t.openBanks, t.ckeLow, t.slowExit,
-                  t.selfRefresh);
+        integrate(t.at, t.openBanks, t.state);
     deferLog_.clear();
 }
 
@@ -242,19 +289,30 @@ void
 Rank::setPowerdown(Tick at, bool low, bool slow_exit,
                    bool self_refresh)
 {
-    if (low == ckeLow_ &&
-        (!low || (slow_exit == slowExit_ &&
-                  self_refresh == selfRefresh_)))
+    RankIdleState s = RankIdleState::Up;
+    if (low) {
+        if (self_refresh)
+            s = RankIdleState::SelfRefresh;
+        else if (slow_exit)
+            s = RankIdleState::SlowPd;
+        else
+            s = RankIdleState::FastPd;
+    }
+    setIdleState(at, s);
+}
+
+void
+Rank::setIdleState(Tick at, RankIdleState s)
+{
+    if (s == idle_)
         return;
     if (defer_)
         noteTransition(at);
     else
         sync(at);
-    if (ckeLow_ && !low)
+    if (idle_ != RankIdleState::Up && s == RankIdleState::Up)
         ++activity_.pdExits;
-    ckeLow_ = low;
-    slowExit_ = low && slow_exit;
-    selfRefresh_ = low && self_refresh;
+    idle_ = s;
 }
 
 void
@@ -323,6 +381,9 @@ Rank::registerStats(StatRegistry &reg, const std::string &prefix) const
     reg.addCounter(prefix + ".slowPdTime",
                    &activity_.slowPowerdownTime);
     reg.addCounter(prefix + ".srTime", &activity_.selfRefreshTime);
+    reg.addCounter(prefix + ".srSlowTime", &activity_.srSlowClockTime);
+    reg.addCounter(prefix + ".deepPdTime",
+                   &activity_.deepPowerdownTime);
     reg.addCounter(prefix + ".actTime", &activity_.actStandbyTime);
     reg.addCounter(prefix + ".actPdTime",
                    &activity_.actPowerdownTime);
@@ -340,9 +401,7 @@ Rank::reset()
     activity_ = RankActivity();
     lastUpdate_ = 0;
     openBanks_ = 0;
-    ckeLow_ = false;
-    slowExit_ = false;
-    selfRefresh_ = false;
+    idle_ = RankIdleState::Up;
     recentActs_ = {};
     numRecentActs_ = 0;
     deferLog_.clear();

@@ -30,6 +30,34 @@ class SectionWriter;
 class StatRegistry;
 
 /**
+ * Explicit rank idle-state ladder, ordered shallow to deep.  States at
+ * SelfRefresh and beyond refresh internally: the external refresh
+ * engine must not issue REF commands to a rank sitting there.
+ */
+enum class RankIdleState : std::uint8_t
+{
+    Up = 0,       ///< CKE high (standby; active or precharged)
+    FastPd,       ///< fast-exit precharge powerdown (tXP exit)
+    SlowPd,       ///< slow-exit precharge powerdown, DLL off (tXPDLL)
+    SelfRefresh,  ///< self-refresh (tXS exit)
+    SrSlowClock,  ///< self-refresh with slow internal clock (tXSDLL)
+    DeepPd,       ///< deep powerdown, clock tree off (tXDP exit)
+};
+
+/** Human-readable name for diagnostics and checker messages. */
+const char *rankIdleStateName(RankIdleState s);
+
+/** States that refresh internally (no external REF allowed). */
+inline bool
+selfRefreshing(RankIdleState s)
+{
+    return s >= RankIdleState::SelfRefresh;
+}
+
+/** Datasheet exit latency of an idle state at the given frequency. */
+Tick idleExitLatency(RankIdleState s, const TimingParams &tp);
+
+/**
  * Accumulated activity of one rank over an integration window.
  * Differences of two snapshots describe the activity within an epoch;
  * the power model consumes exactly this struct.
@@ -40,10 +68,14 @@ struct RankActivity
     Tick prePowerdownTime = 0; ///< all banks precharged, CKE low
     Tick slowPowerdownTime = 0; ///< subset of prePowerdownTime, DLL off
     /**
-     * Subset of prePowerdownTime spent in self-refresh (deepest
-     * state: lowest current, no external refresh needed, tXS exit).
+     * Subset of prePowerdownTime spent in self-refresh (lowest-current
+     * refreshing state; no external refresh needed, tXS exit).
      */
     Tick selfRefreshTime = 0;
+    /** Subset of prePowerdownTime: self-refresh with slow clock. */
+    Tick srSlowClockTime = 0;
+    /** Subset of prePowerdownTime: deep powerdown. */
+    Tick deepPowerdownTime = 0;
     Tick actStandbyTime = 0;   ///< >=1 bank open, CKE high
     Tick actPowerdownTime = 0; ///< >=1 bank open, CKE low
     Tick totalTime = 0;        ///< window length
@@ -85,11 +117,19 @@ class Rank
 
     /**
      * CKE transition.  Entering powerdown with slow_exit selects the
-     * DLL-off (slow-exit) state; self_refresh selects the deepest
-     * state.  Exits count toward EPDC.
+     * DLL-off (slow-exit) state; self_refresh selects self-refresh.
+     * Exits count toward EPDC.  Thin wrapper over setIdleState() for
+     * the pre-ladder call sites.
      */
     void setPowerdown(Tick at, bool low, bool slow_exit = false,
                       bool self_refresh = false);
+
+    /**
+     * Move to an explicit rung of the idle ladder.  Entering any
+     * non-Up state requires all banks precharged; leaving a non-Up
+     * state counts toward EPDC.  A same-state call is a no-op.
+     */
+    void setIdleState(Tick at, RankIdleState s);
 
     void noteActPre() { ++activity_.actPreCount; }
     void noteBurst(bool is_write, Tick duration);
@@ -115,7 +155,7 @@ class Rank
      * @name Deferred accounting (bound/weave kernel).
      *
      * In deferred mode the state-change notifications above still
-     * update the *live* flags immediately (openBanks_/CKE drive
+     * update the *live* flags immediately (openBanks_/idle state drive
      * scheduling decisions and must stay current), but the
      * time-in-state integration is postponed: each transition is
      * appended to a log together with the pre-transition state, and
@@ -143,9 +183,18 @@ class Rank
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
 
-    bool powerdown() const { return ckeLow_; }
-    bool slowPowerdown() const { return ckeLow_ && slowExit_; }
-    bool selfRefresh() const { return ckeLow_ && selfRefresh_; }
+    RankIdleState idleState() const { return idle_; }
+    bool powerdown() const { return idle_ != RankIdleState::Up; }
+    bool slowPowerdown() const { return idle_ == RankIdleState::SlowPd; }
+    bool selfRefresh() const
+    {
+        return idle_ == RankIdleState::SelfRefresh;
+    }
+    /** In any internally-refreshing state (SR or deeper). */
+    bool selfRefreshing() const
+    {
+        return memscale::selfRefreshing(idle_);
+    }
     std::uint32_t openBanks() const { return openBanks_; }
 
     /** Reset all state (used between experiment runs). */
@@ -166,22 +215,18 @@ class Rank
     {
         Tick at;
         std::uint32_t openBanks;
-        bool ckeLow;
-        bool slowExit;
-        bool selfRefresh;
+        RankIdleState state;
     };
 
     void sync(Tick now);
-    void integrate(Tick now, std::uint32_t open_banks, bool low,
-                   bool slow, bool sr);
+    void integrate(Tick now, std::uint32_t open_banks,
+                   RankIdleState state);
     void noteTransition(Tick at);
 
     RankActivity activity_;
     Tick lastUpdate_ = 0;
     std::uint32_t openBanks_ = 0;
-    bool ckeLow_ = false;
-    bool slowExit_ = false;
-    bool selfRefresh_ = false;
+    RankIdleState idle_ = RankIdleState::Up;
     bool defer_ = false;
     std::vector<DeferredTransition> deferLog_;
 

@@ -52,6 +52,8 @@ build(std::uint32_t mhz)
     tp.tRFC = nsToTick(tRFC_ns);
     tp.tXS = nsToTick(tRFC_ns + 10.0);
     tp.tREFI = nsToTick(tREFI_ns);
+    tp.tXSDLL = relockCycles * tp.tCK + nsToTick(10.0);
+    tp.tXDP = tp.tXSDLL + nsToTick(tRFC_ns);
     tp.tRELOCK = relockCycles * tp.tCK + nsToTick(relockSettle_ns);
     return tp;
 }
@@ -113,6 +115,8 @@ TimingParams::saveState(SectionWriter &w) const
     w.u64(tXS);
     w.u64(tREFI);
     w.u64(tRELOCK);
+    w.u64(tXSDLL);
+    w.u64(tXDP);
 }
 
 void
@@ -138,6 +142,8 @@ TimingParams::restoreState(SectionReader &r)
     tXS = r.u64();
     tREFI = r.u64();
     tRELOCK = r.u64();
+    tXSDLL = r.u64();
+    tXDP = r.u64();
 }
 
 FreqIndex

@@ -72,6 +72,10 @@ struct TimingParams
     Tick tRFC;     ///< refresh cycle time, 1 Gb device (110 ns)
     Tick tXS;      ///< self-refresh exit to first command (tRFC+10 ns)
     Tick tREFI;    ///< average refresh interval (64 ms / 8192 rows)
+    Tick tXSDLL;   ///< slow-clock self-refresh exit: DLL re-lock
+                   ///< (512 tCK) + 10 ns settle
+    Tick tXDP;     ///< deep-powerdown exit: DLL re-lock + a full
+                   ///< refresh cycle to restore array state
     /// @}
 
     /**

@@ -67,6 +67,18 @@ flattenCounters(Flat &out, const char *p, const McCounters &c)
     put("readLatencyTotal", c.readLatencyTotal);
     put("freqTransitions", c.freqTransitions);
     put("relockStallTime", c.relockStallTime);
+    // Idle-ladder columns ride along only when a deep state or the
+    // migrator was actually exercised, so pre-ladder flattened
+    // sequences — and their golden hashes — are unchanged.
+    if (c.rankSrTime + c.rankSrSlowTime + c.rankDeepPdTime +
+            c.pdDemotions + c.migrations >
+        0) {
+        put("rankSrTime", c.rankSrTime);
+        put("rankSrSlowTime", c.rankSrSlowTime);
+        put("rankDeepPdTime", c.rankDeepPdTime);
+        put("pdDemotions", c.pdDemotions);
+        put("migrations", c.migrations);
+    }
 }
 
 void

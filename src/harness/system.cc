@@ -87,6 +87,21 @@ verifySnapshotMeta(SectionReader &m, const SystemConfig &cfg,
     want_b("dynamicPolicy", dynamic_policy);
     want_u32("customApps",
              static_cast<std::uint32_t>(cfg.customApps.size()));
+    // Idle-ladder fingerprint: demotion thresholds and consolidation
+    // knobs shape the event stream and the migrator's remap table, so
+    // a snapshot is only valid under the exact same ladder config.
+    const IdleLadderConfig &lc = cfg.mem.ladder;
+    want_u64("ladder.demoteSlowPd", lc.demoteSlowPd);
+    want_u64("ladder.demoteSelfRefresh", lc.demoteSelfRefresh);
+    want_u64("ladder.demoteSrSlow", lc.demoteSrSlow);
+    want_u64("ladder.demoteDeepPd", lc.demoteDeepPd);
+    want_b("ladder.migrate", lc.migrate);
+    want_u64("ladder.migrateInterval", lc.migrateInterval);
+    want_u32("ladder.hotRanks", lc.hotRanks);
+    want_u32("ladder.hotThreshold", lc.hotThreshold);
+    want_u32("ladder.maxSwapsPerInterval", lc.maxSwapsPerInterval);
+    want_u32("ladder.migrationLines", lc.migrationLines);
+    want_u32("ladder.counterSets", lc.counterSets);
 }
 
 } // namespace
@@ -246,8 +261,10 @@ System::run()
     // On resume, the refresh engines' pending events come from the
     // snapshot (clearPending() below drops anything configure()
     // scheduled); starting them here would double-refresh.
-    if (!resuming)
+    if (!resuming) {
         mc.startRefresh();
+        mc.startMigration();
+    }
 
     // Workload construction.  Serving mode replaces the synthetic
     // trace cores with an open-loop front end fanning requests across
@@ -478,8 +495,12 @@ System::run()
               case EvChanRelockExit:
               case EvChanRefreshTick:
               case EvChanRefreshDone:
+              case EvChanPdDemote:
                 cb = mc.rebuildChannelEvent(tag.owner, tag.kind,
                                             tag.a, tag.b);
+                break;
+              case EvMemMigrate:
+                cb = mc.rebuildMigrationEvent();
                 break;
               case EvEpochEndProfile:
               case EvEpochEndEpoch:
@@ -547,6 +568,18 @@ System::run()
         m.b(checker != nullptr);
         m.b(policy_.dynamic());
         m.u32(static_cast<std::uint32_t>(cfg_.customApps.size()));
+        const IdleLadderConfig &lc = cfg_.mem.ladder;
+        m.u64(lc.demoteSlowPd);
+        m.u64(lc.demoteSelfRefresh);
+        m.u64(lc.demoteSrSlow);
+        m.u64(lc.demoteDeepPd);
+        m.b(lc.migrate);
+        m.u64(lc.migrateInterval);
+        m.u32(lc.hotRanks);
+        m.u32(lc.hotThreshold);
+        m.u32(lc.maxSwapsPerInterval);
+        m.u32(lc.migrationLines);
+        m.u32(lc.counterSets);
         // Summary block (SnapshotMeta): what the checkpoint caught
         // mid-flight, for diagnostics and test probes.
         m.u64(eq.now());
@@ -783,6 +816,17 @@ readSnapshotMeta(const std::string &path)
     m.b();    // protocolCheck
     m.b();    // dynamicPolicy
     m.u32();  // customApps
+    m.u64();  // ladder.demoteSlowPd
+    m.u64();  // ladder.demoteSelfRefresh
+    m.u64();  // ladder.demoteSrSlow
+    m.u64();  // ladder.demoteDeepPd
+    m.b();    // ladder.migrate
+    m.u64();  // ladder.migrateInterval
+    m.u32();  // ladder.hotRanks
+    m.u32();  // ladder.hotThreshold
+    m.u32();  // ladder.maxSwapsPerInterval
+    m.u32();  // ladder.migrationLines
+    m.u32();  // ladder.counterSets
     out.now = m.u64();
     out.doneCores = m.u32();
     out.pendingEvents = m.u32();

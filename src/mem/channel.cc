@@ -16,7 +16,9 @@ Channel::Channel(EventQueue &eq, const MemConfig &cfg,
     : eq_(eq), cfg_(cfg), pool_(pool), tp_(tp),
       ranks_(cfg.ranksPerChannel()),
       banks_(cfg.ranksPerChannel() * cfg.banksPerRank),
-      pdExitReadyAt_(cfg.ranksPerChannel(), 0)
+      pdExitReadyAt_(cfg.ranksPerChannel(), 0),
+      pdSeq_(cfg.ranksPerChannel(), 0),
+      relockParked_(cfg.ranksPerChannel(), 0)
 {
 }
 
@@ -98,7 +100,7 @@ Channel::emit(DramCmdEvent ev)
 
 void
 Channel::emitCke(DramCmd cmd, Tick at, Tick done_at,
-                 std::uint32_t rank, bool self_refresh)
+                 std::uint32_t rank, RankIdleState state)
 {
     if (!obs_)
         return;
@@ -107,7 +109,8 @@ Channel::emitCke(DramCmd cmd, Tick at, Tick done_at,
     ev.at = at;
     ev.doneAt = done_at;
     ev.rank = rank;
-    ev.selfRefresh = self_refresh;
+    ev.selfRefresh = selfRefreshing(state);
+    ev.pdState = static_cast<std::uint8_t>(state);
     emit(ev);
 }
 
@@ -188,16 +191,22 @@ Channel::tryService(std::uint32_t r, std::uint32_t b)
 
     // Powerdown exit if the rank sleeps (EPDC is counted by the rank).
     if (rk.powerdown()) {
-        Tick exit_lat = tp.tXP;
-        if (rk.selfRefresh())
-            exit_lat = tp.tXS;
-        else if (rk.slowPowerdown())
-            exit_lat = tp.tXPDLL;
-        rk.setPowerdown(now, false);
-        pdExitReadyAt_[r] = now + exit_lat;
+        // A rank the re-lock force-parked wakes "for free" at `now`
+        // (the stall itself covers its fast exit, and the checker
+        // exempts it).  A rank resident from *before* the quiescence
+        // cannot start its exit sequence until the new clock locks:
+        // its exit latency — frequency-dependent for the DLL-off deep
+        // states — runs from the stall end, under the parameters in
+        // effect there.
+        const Tick wake_at =
+            relockParked_[r] ? now : std::max(now, suspendedUntil_);
+        const Tick exit_lat = idleExitLatency(rk.idleState(), tp);
+        rk.setIdleState(now, RankIdleState::Up);
+        ++pdSeq_[r];
+        pdExitReadyAt_[r] = wake_at + exit_lat;
         req->sawPowerdownExit = true;
         counters_.epdc += 1;
-        emitCke(DramCmd::PowerdownExit, now, pdExitReadyAt_[r], r);
+        emitCke(DramCmd::PowerdownExit, wake_at, pdExitReadyAt_[r], r);
     }
     earliest = std::max(earliest, pdExitReadyAt_[r]);
 
@@ -377,19 +386,47 @@ Channel::evPreDone(std::uint32_t r)
 void
 Channel::evRelockEnter(std::uint32_t r)
 {
-    if (ranks_[r].openBanks() == 0) {
-        ranks_[r].setPowerdown(eq_.now(), true, false);
-        emitCke(DramCmd::PowerdownEnter, eq_.now(), eq_.now(), r);
+    Rank &rk = ranks_[r];
+    if (rk.powerdown()) {
+        // Already resident in an idle state: JEDEC lets the device sit
+        // in powerdown/self-refresh through the frequency change, so
+        // no CKE traffic is needed (and a duplicate enter would be a
+        // protocol violation).
+        return;
+    }
+    if (rk.openBanks() == 0) {
+        rk.setIdleState(eq_.now(), RankIdleState::FastPd);
+        ++pdSeq_[r];
+        relockParked_[r] = 1;
+        emitCke(DramCmd::PowerdownEnter, eq_.now(), eq_.now(), r,
+                RankIdleState::FastPd);
+        armDemotion(r);
     }
 }
 
 void
 Channel::evRelockExit(std::uint32_t r)
 {
-    if (ranks_[r].powerdown())
-        emitCke(DramCmd::PowerdownExit, eq_.now(), eq_.now(), r);
-    ranks_[r].setPowerdown(eq_.now(), false);
-    maybePowerdown(r);
+    Rank &rk = ranks_[r];
+    if (relockParked_[r]) {
+        relockParked_[r] = 0;
+        if (rk.idleState() == RankIdleState::FastPd) {
+            emitCke(DramCmd::PowerdownExit, eq_.now(), eq_.now(), r);
+            rk.setIdleState(eq_.now(), RankIdleState::Up);
+            ++pdSeq_[r];
+            maybePowerdown(r);
+        } else if (!rk.powerdown()) {
+            // A refresh or access already woke it mid-window.
+            maybePowerdown(r);
+        }
+        // A rank that demoted below fast-PD inside the window stays
+        // resident; the next access pays that state's full exit
+        // latency.
+        return;
+    }
+    if (!rk.powerdown())
+        maybePowerdown(r);
+    // Pre-relock residents stay down; nothing to announce.
 }
 
 void
@@ -500,11 +537,89 @@ Channel::maybePowerdown(std::uint32_t r)
         return;
     if (!rankFullyIdle(r))
         return;
-    ranks_[r].setPowerdown(eq_.now(), true,
-                           pdMode_ == PowerdownMode::SlowExit,
-                           pdMode_ == PowerdownMode::SelfRefresh);
-    emitCke(DramCmd::PowerdownEnter, eq_.now(), eq_.now(), r,
-            pdMode_ == PowerdownMode::SelfRefresh);
+    RankIdleState target = RankIdleState::FastPd;
+    switch (pdMode_) {
+      case PowerdownMode::None:
+        return;
+      case PowerdownMode::FastExit:
+      case PowerdownMode::Ladder:  // the ladder starts at fast-PD
+        target = RankIdleState::FastPd;
+        break;
+      case PowerdownMode::SlowExit:
+        target = RankIdleState::SlowPd;
+        break;
+      case PowerdownMode::SelfRefresh:
+        target = RankIdleState::SelfRefresh;
+        break;
+      case PowerdownMode::SelfRefreshSlow:
+        target = RankIdleState::SrSlowClock;
+        break;
+      case PowerdownMode::DeepPowerdown:
+        target = RankIdleState::DeepPd;
+        break;
+    }
+    ranks_[r].setIdleState(eq_.now(), target);
+    ++pdSeq_[r];
+    emitCke(DramCmd::PowerdownEnter, eq_.now(), eq_.now(), r, target);
+    if (pdMode_ == PowerdownMode::Ladder)
+        armDemotion(r);
+}
+
+void
+Channel::armDemotion(std::uint32_t r)
+{
+    if (pdMode_ != PowerdownMode::Ladder)
+        return;
+    RankIdleState next;
+    Tick dwell;
+    switch (ranks_[r].idleState()) {
+      case RankIdleState::FastPd:
+        next = RankIdleState::SlowPd;
+        dwell = cfg_.ladder.demoteSlowPd;
+        break;
+      case RankIdleState::SlowPd:
+        next = RankIdleState::SelfRefresh;
+        dwell = cfg_.ladder.demoteSelfRefresh;
+        break;
+      case RankIdleState::SelfRefresh:
+        next = RankIdleState::SrSlowClock;
+        dwell = cfg_.ladder.demoteSrSlow;
+        break;
+      case RankIdleState::SrSlowClock:
+        next = RankIdleState::DeepPd;
+        dwell = cfg_.ladder.demoteDeepPd;
+        break;
+      default:
+        return;  // Up or already at the bottom
+    }
+    if (dwell == 0)
+        return;  // zero threshold disables the rung
+    const std::uint64_t seq = pdSeq_[r];
+    eq_.schedule(eq_.now() + dwell,
+                 [this, r, next, seq] { evPdDemote(r, next, seq); },
+                 EventClass::Hardware,
+                 {EvChanPdDemote, id_, r,
+                  (seq << 8) |
+                      static_cast<std::uint64_t>(
+                          static_cast<std::uint8_t>(next))});
+}
+
+void
+Channel::evPdDemote(std::uint32_t r, RankIdleState target,
+                    std::uint64_t seq)
+{
+    if (pdSeq_[r] != seq)
+        return;  // the rank woke (or moved) since this timer was armed
+    Rank &rk = ranks_[r];
+    if (!rk.powerdown() || rk.idleState() >= target)
+        return;
+    if (!rankFullyIdle(r))
+        return;
+    rk.setIdleState(eq_.now(), target);
+    ++pdSeq_[r];
+    counters_.pdDemotions += 1;
+    emitCke(DramCmd::PowerdownEnter, eq_.now(), eq_.now(), r, target);
+    armDemotion(r);
 }
 
 void
@@ -599,9 +714,10 @@ Channel::refreshRank(std::uint32_t r)
     const Tick now = eq_.now();
     Rank &rk = ranks_[r];
 
-    // Ranks resident in self-refresh refresh themselves; skip the
-    // external refresh entirely.
-    if (rk.selfRefresh()) {
+    // Ranks resident in any internally-refreshing state (self-refresh
+    // or deeper) refresh themselves; skip the external refresh
+    // entirely.
+    if (rk.selfRefreshing()) {
         eq_.schedule(now + tp.tREFI, [this, r] { refreshRank(r); },
                      EventClass::Hardware,
                      {EvChanRefreshTick, id_, r});
@@ -610,10 +726,11 @@ Channel::refreshRank(std::uint32_t r)
 
     Tick start = std::max(now, suspendedUntil_);
     if (rk.powerdown()) {
-        bool slow = rk.slowPowerdown();
-        rk.setPowerdown(now, false);
+        const Tick exit_lat = idleExitLatency(rk.idleState(), tp);
+        rk.setIdleState(now, RankIdleState::Up);
+        ++pdSeq_[r];
         counters_.epdc += 1;
-        Tick exit_done = now + (slow ? tp.tXPDLL : tp.tXP);
+        Tick exit_done = now + exit_lat;
         start = std::max(start, exit_done);
         emitCke(DramCmd::PowerdownExit, now, exit_done, r);
     }
@@ -663,6 +780,12 @@ Channel::rebuildEvent(std::uint32_t kind, std::uint64_t a,
         return [this, r] { refreshRank(r); };
       case EvChanRefreshDone:
         return [this, r] { evRefreshDone(r); };
+      case EvChanPdDemote: {
+        auto target = static_cast<RankIdleState>(
+            static_cast<std::uint8_t>(b & 0xff));
+        std::uint64_t seq = b >> 8;
+        return [this, r, target, seq] { evPdDemote(r, target, seq); };
+      }
       default:
         panic("Channel %u: cannot rebuild event kind %s", id_,
               eventKindName(kind));
@@ -707,6 +830,10 @@ Channel::saveState(SectionWriter &w) const
     w.u64(lastBurstStart_);
     w.u64(syncBufferLatency_);
     w.b(refreshRunning_);
+    for (std::uint64_t s : pdSeq_)
+        w.u64(s);
+    for (std::uint8_t p : relockParked_)
+        w.u8(p);
 }
 
 void
@@ -755,6 +882,10 @@ Channel::restoreState(SectionReader &rd)
     lastBurstStart_ = rd.u64();
     syncBufferLatency_ = rd.u64();
     refreshRunning_ = rd.b();
+    for (std::uint64_t &s : pdSeq_)
+        s = rd.u64();
+    for (std::uint8_t &p : relockParked_)
+        p = rd.u8();
 }
 
 void

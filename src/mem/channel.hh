@@ -209,6 +209,23 @@ class Channel
     /** Enter powerdown if the rank is idle and the mode allows. */
     void maybePowerdown(std::uint32_t rank);
 
+    /**
+     * @name Idle-ladder demotion (PowerdownMode::Ladder).
+     *
+     * Entering any idle state arms a one-shot timer for the next rung
+     * down; the timer carries the rank's CKE sequence number, so any
+     * intervening wake-up (which bumps the sequence) silently
+     * invalidates it.  Demotions re-announce PowerdownEnter with the
+     * deeper state — the checker validates the walk — and may fire
+     * inside a frequency re-lock window (the rank then stays resident
+     * through the relock instead of waking with the parked ranks).
+     */
+    /// @{
+    void armDemotion(std::uint32_t rank);
+    void evPdDemote(std::uint32_t rank, RankIdleState target,
+                    std::uint64_t seq);
+    /// @}
+
     void refreshRank(std::uint32_t rank);
 
     bool rankFullyIdle(std::uint32_t rank) const;
@@ -216,9 +233,11 @@ class Channel
     /** Announce a command to the observer, if any. */
     void emit(DramCmdEvent ev);
 
-    /** Announce a rank CKE transition (enter/exit powerdown). */
+    /** Announce a rank CKE transition (enter/exit powerdown).  For
+     * enters, `state` is the idle rung entered; exits pass Up. */
     void emitCke(DramCmd cmd, Tick at, Tick done_at,
-                 std::uint32_t rank, bool self_refresh = false);
+                 std::uint32_t rank,
+                 RankIdleState state = RankIdleState::Up);
 
     /**
      * @name Scheduled-event bodies.  Each corresponds to one
@@ -244,6 +263,20 @@ class Channel
     std::vector<Rank> ranks_;
     std::vector<BankCtl> banks_;        ///< rank-major
     std::vector<Tick> pdExitReadyAt_;   ///< per rank
+
+    /**
+     * Per-rank CKE transition sequence numbers; a queued demotion
+     * timer is valid only while the sequence it captured is current.
+     */
+    std::vector<std::uint64_t> pdSeq_;
+    /**
+     * Ranks force-parked in fast-PD by the re-lock quiescence (they
+     * were awake when it began).  Parked ranks wake at relock exit;
+     * ranks that were already resident — or that demoted deeper
+     * during the window — stay down and pay their own exit latency on
+     * the next access.
+     */
+    std::vector<std::uint8_t> relockParked_;
 
     ReqQueue writeQueue_;
     bool drainMode_ = false;

@@ -22,11 +22,31 @@ enum class PowerdownMode : std::uint8_t
     FastExit,  ///< immediate fast-exit precharge powerdown (Fast-PD)
     SlowExit,  ///< immediate slow-exit precharge powerdown (Slow-PD)
     /**
-     * Immediate self-refresh entry (deepest state; tXS ~ 120 ns exit).
-     * Not evaluated by the paper -- included to quantify why even
+     * Immediate self-refresh entry (tXS ~ 120 ns exit).  Not
+     * evaluated by the paper -- included to quantify why even
      * aggressive idle states cannot match active low-power modes.
      */
     SelfRefresh,
+    /**
+     * Immediate self-refresh with the slow internal clock (DLL off).
+     * Lower standby current than plain self-refresh; exit pays a full
+     * DLL re-lock (tXSDLL).
+     */
+    SelfRefreshSlow,
+    /**
+     * Immediate deep powerdown, modeled as a data-retaining state
+     * with the interface clock tree fully off: exit pays the DLL
+     * re-lock plus a full refresh cycle (tXDP).
+     */
+    DeepPowerdown,
+    /**
+     * Adaptive demotion ladder: idle ranks enter fast-exit powerdown
+     * immediately and walk down through slow-exit, self-refresh,
+     * slow-clock self-refresh, and deep powerdown as their idle time
+     * crosses the `IdleLadderConfig` thresholds; any access promotes
+     * the rank back up at that state's exit latency.
+     */
+    Ladder,
 };
 
 /**
@@ -49,6 +69,55 @@ enum class SchedulerPolicy : std::uint8_t
 {
     Fcfs,    ///< strict arrival order per bank
     FrFcfs,  ///< row hits first, then arrival order
+};
+
+/**
+ * Idle-state ladder + rank-consolidation knobs (active only under
+ * `PowerdownMode::Ladder`; the migrator additionally requires
+ * `migrate`).  Thresholds are idle time *beyond* the previous rung's
+ * threshold crossing, i.e. the demotion timer chain re-arms after
+ * every successful demotion.
+ */
+struct IdleLadderConfig
+{
+    /// @name Demotion thresholds (ticks of rank idleness per rung)
+    /// @{
+    Tick demoteSlowPd = nsToTick(200.0);
+    Tick demoteSelfRefresh = nsToTick(1000.0);
+    Tick demoteSrSlow = nsToTick(4000.0);
+    Tick demoteDeepPd = nsToTick(16000.0);
+    /// @}
+
+    /// Enable rank-aware hot-page migration (consolidation).
+    bool migrate = false;
+    /// Consolidation pass period.
+    Tick migrateInterval = usToTick(50.0);
+    /// Ranks (per channel, lowest indices) that hot rows migrate onto.
+    std::uint32_t hotRanks = 1;
+    /// Accesses within one interval that mark a row frame as hot.
+    std::uint32_t hotThreshold = 8;
+    /// Row-frame swaps performed per channel per consolidation pass.
+    std::uint32_t maxSwapsPerInterval = 4;
+    /// Lines of copy traffic injected per migrated row frame (a full
+    /// 8 KB row is 128 lines; a smaller number models partial-row
+    /// dirtiness without flooding the queues).
+    std::uint32_t migrationLines = 8;
+    /// Direct-mapped access-counter sets per channel (power of two).
+    std::uint32_t counterSets = 256;
+
+    bool
+    operator==(const IdleLadderConfig &o) const
+    {
+        return demoteSlowPd == o.demoteSlowPd &&
+               demoteSelfRefresh == o.demoteSelfRefresh &&
+               demoteSrSlow == o.demoteSrSlow &&
+               demoteDeepPd == o.demoteDeepPd && migrate == o.migrate &&
+               migrateInterval == o.migrateInterval &&
+               hotRanks == o.hotRanks && hotThreshold == o.hotThreshold &&
+               maxSwapsPerInterval == o.maxSwapsPerInterval &&
+               migrationLines == o.migrationLines &&
+               counterSets == o.counterSets;
+    }
 };
 
 struct MemConfig
@@ -77,6 +146,9 @@ struct MemConfig
      * under closed-page management.
      */
     std::uint32_t colLowLines = 4;
+
+    /** Idle-state ladder + consolidation knobs (Ladder mode only). */
+    IdleLadderConfig ladder;
 
     std::uint32_t
     ranksPerChannel() const

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "obs/stat_registry.hh"
+#include "sim/event_kinds.hh"
 #include "sim/weave.hh"
 #include "snapshot/serializer.hh"
 
@@ -22,6 +23,8 @@ MemoryController::MemoryController(EventQueue &eq, const MemConfig &cfg,
             std::make_unique<Channel>(eq_, cfg_, pool_, t));
         channels_.back()->setId(c);
     }
+    if (cfg_.ladder.migrate)
+        migrator_ = std::make_unique<PageMigrator>(cfg_);
 }
 
 MemRequest *
@@ -34,6 +37,10 @@ MemoryController::makeRequest(Addr addr, CoreId core, bool is_write)
     req->arrival = eq_.now();
     req->seq = nextSeq_++;
     req->loc = map_.decode(addr);
+    if (migrator_) {
+        migrator_->noteAccess(req->loc);
+        req->loc.rank = migrator_->remap(req->loc);
+    }
     return req;
 }
 
@@ -150,7 +157,75 @@ MemoryController::addRankTimes(McCounters &out, Channel &ch)
         out.rankPreTime += a.preStandbyTime + a.prePowerdownTime;
         out.rankPrePdTime += a.prePowerdownTime;
         out.rankActPdTime += a.actPowerdownTime;
+        out.rankSrTime += a.selfRefreshTime;
+        out.rankSrSlowTime += a.srSlowClockTime;
+        out.rankDeepPdTime += a.deepPowerdownTime;
     }
+}
+
+void
+MemoryController::startMigration()
+{
+    if (!migrator_ || migrateArmed_)
+        return;
+    migrateArmed_ = true;
+    armMigrate();
+}
+
+void
+MemoryController::armMigrate()
+{
+    eq_.schedule(eq_.now() + cfg_.ladder.migrateInterval,
+                 [this] { evMigrate(); }, EventClass::Hardware,
+                 {EvMemMigrate, 0, 0});
+}
+
+void
+MemoryController::evMigrate()
+{
+    std::vector<MigrationSwap> swaps;
+    migrator_->runPass(swaps);
+    for (const MigrationSwap &s : swaps) {
+        for (std::uint32_t l = 0; l < cfg_.ladder.migrationLines;
+             ++l) {
+            DecodedAddr from;
+            from.channel = s.channel;
+            from.rank = s.rankFrom;
+            from.bank = s.bank;
+            from.row = s.row;
+            from.column = l % cfg_.linesPerRow();
+            DecodedAddr to = from;
+            to.rank = s.rankTo;
+            // Swap = read both frames, write both crosswise.
+            issueCopy(from, false);
+            issueCopy(to, false);
+            issueCopy(to, true);
+            issueCopy(from, true);
+        }
+    }
+    armMigrate();
+}
+
+void
+MemoryController::issueCopy(const DecodedAddr &loc, bool is_write)
+{
+    MemRequest *req = pool_.alloc();
+    req->loc = loc;
+    req->addr = map_.encode(loc);
+    req->isWrite = is_write;
+    req->core = 0;
+    req->arrival = eq_.now();
+    req->seq = nextSeq_++;
+    channels_[loc.channel]->access(req);
+}
+
+EventCallback
+MemoryController::rebuildMigrationEvent()
+{
+    if (!migrator_)
+        fatal("MemoryController: snapshot has a migration event but "
+              "consolidation is disabled");
+    return [this] { evMigrate(); };
 }
 
 void
@@ -200,6 +275,7 @@ MemoryController::sampleCounters()
         out.cbmc += c.cbmc;
         out.epdc += c.epdc;
         out.pocc += c.pocc;
+        out.pdDemotions += c.pdDemotions;
         out.reads += c.reads;
         out.writes += c.writes;
         out.busBusyTime += c.busBusyTime;
@@ -208,6 +284,8 @@ MemoryController::sampleCounters()
         addRankTimes(out, *ch);
     }
     out.freqTransitions = freqTransitions_;
+    if (migrator_)
+        out.migrations = migrator_->swapsPerformed();
     return out;
 }
 
@@ -246,6 +324,8 @@ MemoryController::registerStats(StatRegistry &reg,
                                 const std::string &prefix) const
 {
     reg.addCounter(prefix + ".freqTransitions", &freqTransitions_);
+    if (migrator_)
+        migrator_->registerStats(reg, prefix + ".migrator");
     reg.addGauge(prefix + ".busMHz", [this] {
         return static_cast<double>(busMHz());
     });
@@ -307,6 +387,12 @@ MemoryController::saveState(SectionWriter &w) const
     w.u32(decoupledMHz_);
     for (const auto &ch : channels_)
         ch->saveState(w);
+    // Config-gated: snapshot meta pins the ladder config, so writer
+    // and reader agree on whether this trailer exists.
+    if (migrator_) {
+        w.b(migrateArmed_);
+        migrator_->saveState(w);
+    }
 }
 
 void
@@ -372,6 +458,10 @@ MemoryController::restoreState(SectionReader &r,
     decoupledMHz_ = r.u32();
     for (auto &ch : channels_)
         ch->restoreState(r);
+    if (migrator_) {
+        migrateArmed_ = r.b();
+        migrator_->restoreState(r);
+    }
 }
 
 EventCallback

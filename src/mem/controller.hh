@@ -24,6 +24,7 @@
 #include "mem/client.hh"
 #include "mem/config.hh"
 #include "mem/counters.hh"
+#include "mem/migration.hh"
 #include "mem/request_pool.hh"
 #include "power/system_power.hh"
 #include "sim/event_queue.hh"
@@ -135,6 +136,27 @@ class MemoryController
     /** Start refresh engines (call once at simulation start). */
     void startRefresh();
 
+    /**
+     * @name Rank consolidation (cfg.ladder.migrate).
+     *
+     * The controller owns the PageMigrator: every request is hotness-
+     * sampled and rank-remapped right after address decode, and a
+     * periodic pass (EvMemMigrate) swaps hot frames onto the hot-rank
+     * set, injecting the copy traffic (reads from both frames, writes
+     * to both, bypassing the remap).  startMigration() arms the first
+     * pass; like startRefresh() it must not be called on a resumed
+     * run, whose pending pass comes from the snapshot.
+     */
+    /// @{
+    void startMigration();
+
+    /** The migrator, or nullptr when consolidation is off. */
+    const PageMigrator *migrator() const { return migrator_.get(); }
+
+    /** Rebuild a pending EvMemMigrate event from its tag (restore). */
+    EventCallback rebuildMigrationEvent();
+    /// @}
+
     /** Cumulative system-wide counters (callers diff snapshots). */
     McCounters sampleCounters();
 
@@ -211,9 +233,16 @@ class MemoryController
     std::uint32_t decoupledMHz_ = 0;
     std::function<void()> beforeFreqChange_;
     WeaveHub *weaveHub_ = nullptr;
+    std::unique_ptr<PageMigrator> migrator_;
+    bool migrateArmed_ = false;
 
     MemRequest *makeRequest(Addr addr, CoreId core, bool is_write);
     void addRankTimes(McCounters &out, Channel &ch);
+    void armMigrate();
+    void evMigrate();
+    /** Inject one line of migration copy traffic at a physical
+     * location (no hotness sampling, no remap). */
+    void issueCopy(const DecodedAddr &loc, bool is_write);
 };
 
 } // namespace memscale

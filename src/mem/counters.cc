@@ -21,6 +21,11 @@ McCounters::saveState(SectionWriter &w) const
     w.u64(rankPreTime);
     w.u64(rankPrePdTime);
     w.u64(rankActPdTime);
+    w.u64(rankSrTime);
+    w.u64(rankSrSlowTime);
+    w.u64(rankDeepPdTime);
+    w.u64(pdDemotions);
+    w.u64(migrations);
     w.u64(reads);
     w.u64(writes);
     w.u64(busBusyTime);
@@ -45,6 +50,11 @@ McCounters::restoreState(SectionReader &r)
     rankPreTime = r.u64();
     rankPrePdTime = r.u64();
     rankActPdTime = r.u64();
+    rankSrTime = r.u64();
+    rankSrSlowTime = r.u64();
+    rankDeepPdTime = r.u64();
+    pdDemotions = r.u64();
+    migrations = r.u64();
     reads = r.u64();
     writes = r.u64();
     busBusyTime = r.u64();
@@ -70,6 +80,11 @@ McCounters::operator-(const McCounters &o) const
     r.rankPreTime = rankPreTime - o.rankPreTime;
     r.rankPrePdTime = rankPrePdTime - o.rankPrePdTime;
     r.rankActPdTime = rankActPdTime - o.rankActPdTime;
+    r.rankSrTime = rankSrTime - o.rankSrTime;
+    r.rankSrSlowTime = rankSrSlowTime - o.rankSrSlowTime;
+    r.rankDeepPdTime = rankDeepPdTime - o.rankDeepPdTime;
+    r.pdDemotions = pdDemotions - o.pdDemotions;
+    r.migrations = migrations - o.migrations;
     r.reads = reads - o.reads;
     r.writes = writes - o.writes;
     r.busBusyTime = busBusyTime - o.busBusyTime;

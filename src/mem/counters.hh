@@ -59,6 +59,15 @@ struct McCounters
     Tick rankActPdTime = 0;        ///< some bank open, CKE low (ATCKEL)
     /// @}
 
+    /// @name Idle-ladder and consolidation counters.
+    /// @{
+    Tick rankSrTime = 0;           ///< summed self-refresh residency
+    Tick rankSrSlowTime = 0;       ///< ... in slow-clock self-refresh
+    Tick rankDeepPdTime = 0;       ///< ... in deep powerdown
+    std::uint64_t pdDemotions = 0; ///< ladder walk-down transitions
+    std::uint64_t migrations = 0;  ///< page-frame swaps performed
+    /// @}
+
     /// @name Traffic statistics.
     /// @{
     std::uint64_t reads = 0;       ///< completed reads

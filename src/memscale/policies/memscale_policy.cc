@@ -13,6 +13,8 @@ namespace memscale
 std::string
 MemScalePolicy::name() const
 {
+    if (opts_.withLadder)
+        return "memscale-ladder";
     if (opts_.withFastPd)
         return "memscale-fastpd";
     if (opts_.memoryEnergyOnly)
@@ -24,8 +26,9 @@ void
 MemScalePolicy::configure(MemoryController &mc, const PolicyContext &ctx)
 {
     mc.setFrequency(nominalFreqIndex);
-    mc.setPowerdownMode(opts_.withFastPd ? PowerdownMode::FastExit
-                                         : PowerdownMode::None);
+    mc.setPowerdownMode(opts_.withLadder ? PowerdownMode::Ladder
+                        : opts_.withFastPd ? PowerdownMode::FastExit
+                                           : PowerdownMode::None);
     perf_ = PerfModel(ctx.cpuGHz);
     slackReady_ = false;
     decision_ = PolicyDecision();

@@ -25,6 +25,9 @@ class MemScalePolicy : public Policy
         bool memoryEnergyOnly = false;
         /** Also enable fast-exit powerdown (MemScale + Fast-PD). */
         bool withFastPd = false;
+        /** Also enable the adaptive idle-state demotion ladder
+         * (MemScale + Ladder); takes precedence over withFastPd. */
+        bool withLadder = false;
     };
 
     MemScalePolicy() : opts_() {}

@@ -36,6 +36,15 @@ makePolicy(const std::string &name)
     if (name == "srpd")
         return std::make_unique<PowerdownPolicy>(
             PowerdownMode::SelfRefresh);
+    if (name == "srslowpd")
+        return std::make_unique<PowerdownPolicy>(
+            PowerdownMode::SelfRefreshSlow);
+    if (name == "deeppd")
+        return std::make_unique<PowerdownPolicy>(
+            PowerdownMode::DeepPowerdown);
+    if (name == "ladder")
+        return std::make_unique<PowerdownPolicy>(
+            PowerdownMode::Ladder);
     if (name == "throttle")
         return std::make_unique<ThrottlePolicy>();
     if (name == "decoupled")
@@ -52,6 +61,11 @@ makePolicy(const std::string &name)
         o.withFastPd = true;
         return std::make_unique<MemScalePolicy>(o);
     }
+    if (name == "memscale-ladder") {
+        MemScalePolicy::Options o;
+        o.withLadder = true;
+        return std::make_unique<MemScalePolicy>(o);
+    }
     if (name == "memscale-perchannel")
         return std::make_unique<PerChannelMemScalePolicy>();
     if (name == "coscale")
@@ -65,9 +79,9 @@ std::vector<std::string>
 policyNames()
 {
     return {"baseline", "static", "fastpd", "slowpd", "srpd",
-            "throttle", "decoupled", "memscale",
-            "memscale-memenergy", "memscale-fastpd",
-            "memscale-perchannel", "slo"};
+            "srslowpd", "deeppd", "ladder", "throttle", "decoupled",
+            "memscale", "memscale-memenergy", "memscale-fastpd",
+            "memscale-ladder", "memscale-perchannel", "slo"};
 }
 
 } // namespace memscale

@@ -15,6 +15,12 @@ PowerdownPolicy::name() const
         return "slowpd";
       case PowerdownMode::SelfRefresh:
         return "srpd";
+      case PowerdownMode::SelfRefreshSlow:
+        return "srslowpd";
+      case PowerdownMode::DeepPowerdown:
+        return "deeppd";
+      case PowerdownMode::Ladder:
+        return "ladder";
       default:
         return "nopd";
     }

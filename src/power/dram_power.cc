@@ -31,16 +31,22 @@ rankEnergy(const RankActivity &act, const TimingParams &tp,
     // lower DLL-off current.
     const double fastPdTime =
         tickToSec(act.prePowerdownTime - act.slowPowerdownTime -
-                  act.selfRefreshTime);
+                  act.selfRefreshTime - act.srSlowClockTime -
+                  act.deepPowerdownTime);
     e.background = vdd * chips * fscale *
         (pp.iPreStandby * tickToSec(act.preStandbyTime) +
          pp.iPrePdFast * fastPdTime +
          pp.iPrePdSlow * tickToSec(act.slowPowerdownTime) +
          pp.iActStandby * tickToSec(act.actStandbyTime) +
          pp.iActPowerdown * tickToSec(act.actPowerdownTime)) +
-        // Self-refresh draws its own (frequency-independent) current.
-        vdd * chips * pp.iSelfRefresh *
-            tickToSec(act.selfRefreshTime);
+        // The internally-refreshing states draw their own
+        // (frequency-independent) currents: the interface clock is
+        // decoupled or off, so the bus frequency derating no longer
+        // applies.
+        vdd * chips *
+            (pp.iSelfRefresh * tickToSec(act.selfRefreshTime) +
+             pp.iSrSlowClock * tickToSec(act.srSlowClockTime) +
+             pp.iDeepPowerdown * tickToSec(act.deepPowerdownTime));
 
     // Activate/precharge: IDD0-style measurement cycles ACT-PRE at
     // tRC; net charge above standby is (IDD0 - weighted standby)

@@ -49,6 +49,16 @@ struct PowerParams
      * while resident, at the cost of a tXS (~tRFC) exit penalty.
      */
     double iSelfRefresh = 0.012;
+    /**
+     * Self-refresh with the slow internal clock (IDD6ET-style):
+     * trading the tXSDLL exit for a lower standby draw.
+     */
+    double iSrSlowClock = 0.008;
+    /**
+     * Deep powerdown (clock tree off, array self-refreshing):
+     * the floor of the ladder, behind the tXDP exit penalty.
+     */
+    double iDeepPowerdown = 0.004;
     double iRefresh = 0.240;     ///< refresh burst (IDD5-style)
     /// @}
 

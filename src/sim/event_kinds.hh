@@ -35,6 +35,8 @@ enum EventKind : std::uint32_t
     EvEpochEndEpoch = 11,   ///< epoch closes, next one begins
     EvServeArrival = 12,    ///< open-loop front end: next request lands
     EvServeIssue = 13,      ///< serving worker compute segment ends
+    EvChanPdDemote = 14,    ///< idle-ladder demotion timer fires
+    EvMemMigrate = 15,      ///< periodic hot-page consolidation pass
     /**
      * Meta-events of the checkpoint machinery itself (the periodic
      * snapshot writer).  Never exported: a resumed run re-creates its
@@ -62,6 +64,8 @@ eventKindName(std::uint32_t kind)
       case EvEpochEndEpoch: return "epoch.endEpoch";
       case EvServeArrival: return "serve.arrival";
       case EvServeIssue: return "serve.issue";
+      case EvChanPdDemote: return "chan.pdDemote";
+      case EvMemMigrate: return "mem.migrateTick";
       case EvEphemeral: return "ephemeral";
       default: return "unknown";
     }

@@ -70,11 +70,14 @@ EventQueue::releaseSlot(std::uint32_t idx)
 std::uint32_t
 EventQueue::laneFor(const EventTag &tag)
 {
-    // Channel-local kinds are a contiguous run in event_kinds.hh;
-    // owner is the channel index.  Aliasing (owner & 63) keeps the
-    // lane table bounded and is order-neutral: the ladder always pops
-    // the global (when, class, seq) minimum.
-    if (tag.kind - EvChanBankClosed <= EvChanRefreshDone - EvChanBankClosed)
+    // Channel-local kinds are a contiguous run in event_kinds.hh
+    // (plus the appended idle-ladder demotion kind); owner is the
+    // channel index.  Aliasing (owner & 63) keeps the lane table
+    // bounded and is order-neutral: the ladder always pops the global
+    // (when, class, seq) minimum.
+    if (tag.kind - EvChanBankClosed <=
+            EvChanRefreshDone - EvChanBankClosed ||
+        tag.kind == EvChanPdDemote)
         return tag.owner & (MaxLanes - 1);
     return NoLane;
 }

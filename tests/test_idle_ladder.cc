@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Property/fuzz matrix for the deep idle-state ladder (ctest label
+ * `idle`): randomized traffic with hot/cold skew, randomized demotion
+ * thresholds, migration-based rank consolidation, refresh, and
+ * frequency re-locks — all driven through the real controller with
+ * the protocol checker in STRICT mode, so the first illegal command
+ * aborts the episode with full provenance and the seed that produced
+ * it.
+ *
+ * On top of protocol cleanliness the suite pins two accounting
+ * invariants the power model depends on:
+ *  - residency times partition wall time per rank (the four CKE/bank
+ *    quadrants sum exactly to totalTime, and the deep rungs are
+ *    subsets of precharge powerdown), and
+ *  - energy integrals are non-negative per window and monotone in
+ *    time, for every rung the fuzzed ladder visits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/protocol_checker.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "mem/client.hh"
+#include "mem/controller.hh"
+#include "power/dram_power.hh"
+#include "sim/event_queue.hh"
+
+using namespace memscale;
+
+namespace
+{
+
+/** Randomized but always-sane ladder config derived from the seed. */
+MemConfig
+ladderConfig(Rng &rng)
+{
+    MemConfig cfg;
+    cfg.numChannels = 1;
+    // Dwell thresholds: each rung waits 50 ns .. ~2 us beyond the
+    // previous one, so episodes visit different rung mixes.
+    Tick dwell = nsToTick(50.0 + double(rng.next() % 2000));
+    cfg.ladder.demoteSlowPd = dwell;
+    dwell += nsToTick(50.0 + double(rng.next() % 2000));
+    cfg.ladder.demoteSelfRefresh = dwell;
+    dwell += nsToTick(50.0 + double(rng.next() % 2000));
+    cfg.ladder.demoteSrSlow = dwell;
+    dwell += nsToTick(50.0 + double(rng.next() % 2000));
+    cfg.ladder.demoteDeepPd = dwell;
+    cfg.ladder.migrate = true;
+    cfg.ladder.hotRanks =
+        1 + static_cast<std::uint32_t>(
+                rng.next() % (cfg.ranksPerChannel() - 1));
+    cfg.ladder.migrateInterval =
+        usToTick(2.0 + double(rng.next() % 20));
+    cfg.ladder.maxSwapsPerInterval =
+        1 + static_cast<std::uint32_t>(rng.next() % 8);
+    // Promotion threshold low enough that a short episode's skewed
+    // traffic actually qualifies frames for consolidation.
+    cfg.ladder.hotThreshold =
+        2 + static_cast<std::uint32_t>(rng.next() % 7);
+    return cfg;
+}
+
+struct LadderEpisode
+{
+    std::string violation;     ///< empty = strict checker stayed clean
+    std::uint64_t commands = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t relocks = 0;
+    IntervalActivity activity; ///< cumulative, sampled at the end
+    Tick end = 0;              ///< wall time at the final sample
+};
+
+/**
+ * One fuzz episode under the STRICT checker.  Traffic is skewed: most
+ * accesses hit a small hot region (so consolidation has something to
+ * consolidate), the rest roam the whole address space; idle gaps are
+ * long enough for ranks to walk the whole ladder.
+ */
+LadderEpisode
+fuzzLadder(std::uint64_t seed, int ops)
+{
+    EventQueue eq;
+    Rng rng(seed);
+    MemConfig cfg = ladderConfig(rng);
+    MemoryController mc(eq, cfg);
+    ProtocolChecker pc(/*strict=*/true);
+    mc.setCommandObserver(&pc);
+    mc.startRefresh();
+    mc.startMigration();
+    mc.setPowerdownMode(PowerdownMode::Ladder);
+
+    const Addr span = cfg.totalBytes();
+    const Addr hot_span = span / 256;
+    std::uint64_t outstanding_cb = 0;
+    FnClient client([&](Tick) { --outstanding_cb; });
+
+    LadderEpisode ep;
+    try {
+        for (int i = 0; i < ops; ++i) {
+            switch (rng.next() % 16) {
+              case 0:
+                mc.setFrequency(static_cast<FreqIndex>(
+                    rng.next() % numFreqPoints));
+                break;
+              case 1:
+              case 2: {
+                // Long idle gap: lets cold ranks demote all the way
+                // down and migration passes fire with no traffic.
+                Tick gap =
+                    usToTick(1.0 + double(rng.next() % 100));
+                eq.runUntil(eq.now() + gap);
+                break;
+              }
+              default: {
+                // 7/8 hot, 1/8 cold — the skew consolidation needs.
+                Addr region = rng.next() % 8 ? hot_span : span;
+                Addr a = (rng.next() % region) &
+                         ~Addr(cfg.lineBytes - 1);
+                if (rng.next() % 3 == 0) {
+                    mc.writeback(a, 0);
+                } else {
+                    ++outstanding_cb;
+                    mc.read(a, 0, &client);
+                }
+                if (rng.next() % 4 == 0)
+                    eq.runUntil(eq.now() +
+                                nsToTick(10.0 +
+                                         double(rng.next() % 500)));
+                break;
+              }
+            }
+        }
+        // Drain with a capped horizon (refresh/migration re-arm
+        // forever); then settle so every rank is mid-residency.
+        eq.runUntil(eq.now() + msToTick(5.0));
+    } catch (const FatalError &e) {
+        ep.violation = e.message;
+        return ep;
+    }
+
+    McCounters c = mc.sampleCounters();
+    ep.commands = pc.commandsChecked();
+    ep.demotions = c.pdDemotions;
+    ep.swaps = c.migrations;
+    ep.relocks = pc.relocksSeen();
+    ep.activity = mc.sampleActivity();
+    ep.end = eq.now();
+    EXPECT_EQ(outstanding_cb, 0u) << "seed=" << seed;
+    return ep;
+}
+
+} // namespace
+
+TEST(IdleLadderFuzz, StrictCheckerCleanAcrossSeedMatrix)
+{
+    const std::uint64_t base = 0x1ad2de39;
+    std::uint64_t demotions = 0, swaps = 0, relocks = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        std::uint64_t seed = deriveSeed(base, i);
+        LadderEpisode ep = fuzzLadder(seed, 300);
+        EXPECT_EQ(ep.violation, "") << "seed=" << seed;
+        EXPECT_GT(ep.commands, 100u) << "seed=" << seed;
+        demotions += ep.demotions;
+        swaps += ep.swaps;
+        relocks += ep.relocks;
+    }
+    // The matrix must actually exercise what it claims to: ladder
+    // walk-downs, consolidation swaps, and frequency transitions.
+    EXPECT_GT(demotions, 0u);
+    EXPECT_GT(swaps, 0u);
+    EXPECT_GT(relocks, 0u);
+}
+
+TEST(IdleLadderFuzz, ResidencyTimesPartitionWallTime)
+{
+    const std::uint64_t base = 0xc01dbeef;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        std::uint64_t seed = deriveSeed(base, i);
+        LadderEpisode ep = fuzzLadder(seed, 200);
+        ASSERT_EQ(ep.violation, "") << "seed=" << seed;
+        ASSERT_FALSE(ep.activity.ranks.empty());
+        bool any_deep = false;
+        for (std::size_t r = 0; r < ep.activity.ranks.size(); ++r) {
+            const RankActivity &a = ep.activity.ranks[r];
+            // The four CKE/bank quadrants partition the rank's whole
+            // life, which is exactly the wall time at the sample.
+            EXPECT_EQ(a.preStandbyTime + a.prePowerdownTime +
+                          a.actStandbyTime + a.actPowerdownTime,
+                      a.totalTime)
+                << "seed=" << seed << " rank=" << r;
+            EXPECT_EQ(a.totalTime, ep.end)
+                << "seed=" << seed << " rank=" << r;
+            // The deep rungs are disjoint refinements of precharge
+            // powerdown; FastPd is the (implicit) remainder.
+            EXPECT_LE(a.slowPowerdownTime + a.selfRefreshTime +
+                          a.srSlowClockTime + a.deepPowerdownTime,
+                      a.prePowerdownTime)
+                << "seed=" << seed << " rank=" << r;
+            any_deep |= a.selfRefreshTime + a.srSlowClockTime +
+                            a.deepPowerdownTime >
+                        0;
+        }
+        EXPECT_TRUE(any_deep) << "seed=" << seed
+                              << ": ladder never left fast/slow PD";
+    }
+}
+
+TEST(IdleLadderFuzz, EnergyIntegralsNonNegativeAndMonotone)
+{
+    // Fixed frequency (energy windows need one set of params), random
+    // ladder thresholds, bursty traffic with long idle tails: every
+    // per-window energy component must be >= 0 and the cumulative
+    // integral monotone.
+    const std::uint64_t base = 0x0e4e26;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        std::uint64_t seed = deriveSeed(base, i);
+        EventQueue eq;
+        Rng rng(seed);
+        MemConfig cfg = ladderConfig(rng);
+        MemoryController mc(eq, cfg);
+        ProtocolChecker pc(/*strict=*/true);
+        mc.setCommandObserver(&pc);
+        mc.startRefresh();
+        mc.startMigration();
+        mc.setPowerdownMode(PowerdownMode::Ladder);
+
+        const TimingParams &tp = TimingParams::at(0);
+        const PowerParams pp;
+        const Addr span = cfg.totalBytes();
+        FnClient client([&](Tick) {});
+
+        IntervalActivity prev = mc.sampleActivity();
+        Joules cumulative = 0.0;
+        for (int window = 0; window < 20; ++window) {
+            // A burst of traffic then an idle tail inside each window.
+            int burst = static_cast<int>(rng.next() % 40);
+            for (int b = 0; b < burst; ++b) {
+                Addr a = (rng.next() % span) &
+                         ~Addr(cfg.lineBytes - 1);
+                if (rng.next() % 3 == 0)
+                    mc.writeback(a, 0);
+                else
+                    mc.read(a, 0, &client);
+            }
+            eq.runUntil(eq.now() + usToTick(20.0));
+
+            IntervalActivity cur = mc.sampleActivity();
+            Joules window_total = 0.0;
+            ASSERT_EQ(cur.ranks.size(), prev.ranks.size());
+            for (std::size_t r = 0; r < cur.ranks.size(); ++r) {
+                RankActivity d = cur.ranks[r] - prev.ranks[r];
+                EXPECT_EQ(d.totalTime, usToTick(20.0))
+                    << "seed=" << seed << " window=" << window;
+                RankEnergy e = rankEnergy(d, tp, pp, 0);
+                EXPECT_GE(e.background, 0.0) << "seed=" << seed;
+                EXPECT_GE(e.actPre, 0.0) << "seed=" << seed;
+                EXPECT_GE(e.readWrite, 0.0) << "seed=" << seed;
+                EXPECT_GE(e.termination, 0.0) << "seed=" << seed;
+                EXPECT_GE(e.refresh, 0.0) << "seed=" << seed;
+                window_total += e.total();
+            }
+            // Background current alone makes every window's energy
+            // strictly positive — the integral is strictly monotone.
+            EXPECT_GT(window_total, 0.0)
+                << "seed=" << seed << " window=" << window;
+            cumulative += window_total;
+            EXPECT_GE(cumulative, window_total);
+            prev = cur;
+        }
+        EXPECT_EQ(pc.violations(), 0u) << "seed=" << seed;
+    }
+}

@@ -10,6 +10,7 @@
 
 #include "check/protocol_checker.hh"
 #include "common/log.hh"
+#include "dram/rank.hh"
 #include "harness/experiment.hh"
 
 using namespace memscale;
@@ -419,4 +420,266 @@ TEST(ProtocolCheckerSystem, CheckerDoesNotPerturbResults)
     EXPECT_EQ(plain.counters.reads, checked.counters.reads);
     EXPECT_EQ(plain.counters.writes, checked.counters.writes);
     EXPECT_EQ(plain.energy.total(), checked.energy.total());
+}
+
+// --- Idle-ladder suite ------------------------------------------------
+//
+// The deep rungs (self-refresh, SR with slow clock, deep powerdown)
+// each carry their own datasheet exit latency and refresh semantics;
+// these tests feed the checker hand-built CKE sequences for every
+// rung and pin the rules the ladder relies on.
+
+namespace
+{
+
+DramCmdEvent
+pde(Tick at, RankIdleState state)
+{
+    DramCmdEvent ev;
+    ev.cmd = DramCmd::PowerdownEnter;
+    ev.at = ev.doneAt = at;
+    ev.pdState = static_cast<std::uint8_t>(state);
+    ev.selfRefresh = selfRefreshing(state);
+    return ev;
+}
+
+DramCmdEvent
+pdx(Tick at, Tick exit_latency)
+{
+    DramCmdEvent ev;
+    ev.cmd = DramCmd::PowerdownExit;
+    ev.at = at;
+    ev.doneAt = at + exit_latency;
+    return ev;
+}
+
+const RankIdleState AllRungs[] = {
+    RankIdleState::FastPd, RankIdleState::SlowPd,
+    RankIdleState::SelfRefresh, RankIdleState::SrSlowClock,
+    RankIdleState::DeepPd};
+
+} // namespace
+
+TEST(ProtocolCheckerLadder, EnforcesExitLatencyPerRung)
+{
+    for (RankIdleState s : AllRungs) {
+        const Tick need = idleExitLatency(s, tp0);
+        ASSERT_GT(need, 0u) << rankIdleStateName(s);
+
+        // One tick short of the datasheet latency: rejected.
+        ProtocolChecker pc = fresh();
+        pc.onCommand(pde(100000, s));
+        pc.onCommand(pdx(200000, need - 1));
+        EXPECT_EQ(pc.violations(), 1u) << rankIdleStateName(s);
+        EXPECT_EQ(firstRule(pc), "pd-exit-latency")
+            << rankIdleStateName(s);
+
+        // The exact latency: clean, and the rank is usable only at
+        // the advertised ready tick.
+        ProtocolChecker ok = fresh();
+        ok.onCommand(pde(100000, s));
+        ok.onCommand(pdx(200000, need));
+        ok.onCommand(act(200000 + need));
+        EXPECT_EQ(ok.violations(), 0u) << rankIdleStateName(s);
+
+        // An ACT one tick before ready still trips powerdown-exit.
+        ProtocolChecker early = fresh();
+        early.onCommand(pde(100000, s));
+        early.onCommand(pdx(200000, need));
+        early.onCommand(act(200000 + need - 1));
+        EXPECT_EQ(early.violations(), 1u) << rankIdleStateName(s);
+        EXPECT_EQ(firstRule(early), "powerdown-exit")
+            << rankIdleStateName(s);
+    }
+}
+
+TEST(ProtocolCheckerLadder, DeeperRungsDemandLongerExits)
+{
+    // The ladder is only a ladder if each rung's wake-up cost grows:
+    // tXP < tXPDLL < tXS < tXSDLL < tXDP.
+    Tick prev = 0;
+    for (RankIdleState s : AllRungs) {
+        Tick need = idleExitLatency(s, tp0);
+        EXPECT_GT(need, prev) << rankIdleStateName(s);
+        prev = need;
+    }
+}
+
+TEST(ProtocolCheckerLadder, RejectsExternalRefreshDuringSelfRefresh)
+{
+    // A self-refreshing rank refreshes internally; an external REF is
+    // a protocol error distinct from command-while-CKE-low — for
+    // every self-refreshing rung, but NOT for the shallow PD rungs.
+    for (RankIdleState s : AllRungs) {
+        ProtocolChecker pc = fresh();
+        pc.onCommand(pde(100000, s));
+        DramCmdEvent ref;
+        ref.cmd = DramCmd::Refresh;
+        ref.at = 150000;
+        ref.doneAt = ref.at + tp0.tRFC;
+        pc.onCommand(ref);
+        EXPECT_EQ(pc.violations(), 1u) << rankIdleStateName(s);
+        EXPECT_EQ(firstRule(pc), selfRefreshing(s)
+                                     ? "refresh-in-selfrefresh"
+                                     : "powerdown")
+            << rankIdleStateName(s);
+    }
+}
+
+TEST(ProtocolCheckerLadder, SelfRefreshSuspendsRefreshStarvationClock)
+{
+    // Long CKE-low residencies in self-refresh must not trip the
+    // refresh-starvation watchdog: the rank refreshed itself.
+    ProtocolChecker pc = fresh();
+    DramCmdEvent ref;
+    ref.cmd = DramCmd::Refresh;
+    ref.at = 100000;
+    ref.doneAt = ref.at + tp0.tRFC;
+    pc.onCommand(ref);
+
+    Tick enter = ref.doneAt + 1000;
+    pc.onCommand(pde(enter, RankIdleState::SelfRefresh));
+    // Dwell 100x the starvation horizon, then exit and refresh.
+    Tick exit = enter + 100 * 9 * tp0.tREFI;
+    Tick need = idleExitLatency(RankIdleState::SelfRefresh, tp0);
+    pc.onCommand(pdx(exit, need));
+    DramCmdEvent ref2 = ref;
+    ref2.at = exit + need;
+    ref2.doneAt = ref2.at + tp0.tRFC;
+    pc.onCommand(ref2);
+    EXPECT_EQ(pc.violations(), 0u)
+        << (pc.samples().empty() ? "" : pc.samples().front().str());
+}
+
+TEST(ProtocolCheckerLadder, AllowsOnlyStrictlyDeeperDemotions)
+{
+    // Walking down rung by rung without an intervening exit is the
+    // adaptive-demotion fast path and must be clean...
+    ProtocolChecker pc = fresh();
+    Tick t = 100000;
+    pc.onCommand(pde(t, RankIdleState::FastPd));
+    pc.onCommand(pde(t + 1000, RankIdleState::SelfRefresh));
+    pc.onCommand(pde(t + 2000, RankIdleState::SrSlowClock));
+    pc.onCommand(pde(t + 3000, RankIdleState::DeepPd));
+    EXPECT_EQ(pc.violations(), 0u);
+
+    // ...the exit must then pay the *deepest* rung's latency...
+    Tick deep = idleExitLatency(RankIdleState::DeepPd, tp0);
+    pc.onCommand(pdx(t + 10000, deep - 1));
+    EXPECT_EQ(pc.violations(), 1u);
+    EXPECT_EQ(firstRule(pc), "pd-exit-latency");
+
+    // ...and re-entering the same or a shallower rung mid-residency
+    // (a "promotion" without CKE ever rising) is illegal.
+    for (RankIdleState again :
+         {RankIdleState::SelfRefresh, RankIdleState::FastPd}) {
+        ProtocolChecker up = fresh();
+        up.onCommand(pde(100000, RankIdleState::SelfRefresh));
+        up.onCommand(pde(101000, again));
+        EXPECT_EQ(up.violations(), 1u) << rankIdleStateName(again);
+        EXPECT_EQ(firstRule(up), "pd-transition")
+            << rankIdleStateName(again);
+    }
+}
+
+TEST(ProtocolCheckerLadder, RejectsActDuringDeepResidency)
+{
+    // Deep powerdown -> ACT without any exit announced: the rank is
+    // simply powered down, however deep the rung.
+    for (RankIdleState s :
+         {RankIdleState::SelfRefresh, RankIdleState::DeepPd}) {
+        ProtocolChecker pc = fresh();
+        pc.onCommand(pde(100000, s));
+        pc.onCommand(act(150000));
+        EXPECT_EQ(pc.violations(), 1u) << rankIdleStateName(s);
+        EXPECT_EQ(firstRule(pc), "powerdown") << rankIdleStateName(s);
+    }
+
+    // Exit without a matching enter is its own transition error.
+    ProtocolChecker orphan = fresh();
+    orphan.onCommand(pdx(100000, tp0.tXP));
+    EXPECT_EQ(orphan.violations(), 1u);
+    EXPECT_EQ(firstRule(orphan), "pd-transition");
+}
+
+TEST(ProtocolCheckerLadder, SelfRefreshAcrossFrequencyTransition)
+{
+    // A rank that entered self-refresh *before* a frequency re-lock
+    // may legally sleep straight through the quiescence window
+    // (self-refresh needs no external clock).  Its eventual exit is
+    // NOT relock-exempt — only force-parked ranks (entered inside the
+    // window) are — and must pay the exit latency under the *new*
+    // parameters.
+    ProtocolChecker pc = fresh();
+    const TimingParams &slow = TimingParams::at(numFreqPoints - 1);
+
+    // Slow-clock self-refresh: its tXSDLL exit is counted in DRAM
+    // clocks, so the re-lock visibly changes the required latency.
+    Tick enter = 100000;
+    pc.onCommand(pde(enter, RankIdleState::SrSlowClock));
+
+    Tick eff = msToTick(1.0);
+    DramCmdEvent rl;
+    rl.cmd = DramCmd::Relock;
+    rl.at = eff - tp0.tRELOCK;
+    rl.doneAt = eff;
+    pc.onCommand(rl);
+    pc.onTimingChange(0, eff, slow);
+
+    // Exit well after the window: judged by the slow grid's tXSDLL.
+    Tick need = idleExitLatency(RankIdleState::SrSlowClock, slow);
+    ASSERT_GT(need, idleExitLatency(RankIdleState::SrSlowClock, tp0));
+    Tick exit = eff + 50000;
+
+    ProtocolChecker shortpc = fresh();
+    shortpc.onCommand(pde(enter, RankIdleState::SrSlowClock));
+    shortpc.onCommand(rl);
+    shortpc.onTimingChange(0, eff, slow);
+    shortpc.onCommand(pdx(
+        exit, idleExitLatency(RankIdleState::SrSlowClock, tp0)));
+    EXPECT_EQ(shortpc.violations(), 1u);
+    EXPECT_EQ(firstRule(shortpc), "pd-exit-latency");
+
+    pc.onCommand(pdx(exit, need));
+    pc.onCommand(act(exit + need));
+    EXPECT_EQ(pc.violations(), 0u)
+        << (pc.samples().empty() ? "" : pc.samples().front().str());
+}
+
+TEST(ProtocolCheckerSystem, LadderPoliciesAreClean)
+{
+    // Full-system sweep over the new rungs: static deep modes and the
+    // adaptive demotion ladder, with the checker attached.
+    for (const char *policy : {"srslowpd", "deeppd", "ladder"}) {
+        SystemConfig cfg = smallConfig("ILP1");
+        Watts rest = 0.0;
+        runBaseline(cfg, rest);
+        RunResult r = runPolicy(cfg, policy, rest);
+        if (std::string(policy) == "ladder")
+            EXPECT_GT(r.counters.pdDemotions, 0u);
+        EXPECT_EQ(r.protocolViolations, 0u)
+            << policy << ": "
+            << (r.protocolViolationSamples.empty()
+                    ? ""
+                    : r.protocolViolationSamples.front());
+    }
+}
+
+TEST(ProtocolCheckerSystem, LadderWithFrequencyTransitionsIsClean)
+{
+    // The composed case the tentpole exists for: adaptive demotion +
+    // consolidation migrations + MemScale DVFS re-locks, all under
+    // the checker, including transitions straddling frequency
+    // changes.
+    SystemConfig cfg = smallConfig("MID1");
+    cfg.mem.ladder.migrate = true;
+    Watts rest = 0.0;
+    runBaseline(cfg, rest);
+    RunResult r = runPolicy(cfg, "memscale-ladder", rest);
+    ASSERT_GT(r.counters.freqTransitions, 0u);
+    EXPECT_GT(r.counters.pdDemotions, 0u);
+    EXPECT_EQ(r.protocolViolations, 0u)
+        << (r.protocolViolationSamples.empty()
+                ? ""
+                : r.protocolViolationSamples.front());
 }

@@ -758,3 +758,107 @@ TEST(SnapshotChurn, MetaMatchesRun)
     EXPECT_GT(m.pendingEvents, 0u);
     std::remove(path.c_str());
 }
+
+// ---------------------------------------------------------------------
+// Idle ladder: deep-state cuts, mid-migration cuts, fingerprinting.
+// ---------------------------------------------------------------------
+
+TEST(SnapshotChurn, RanksInEachDeepIdleState)
+{
+    // Cuts taken while ranks sit in each deep rung.  The static
+    // policies hold every idle rank in one target state (slow-clock
+    // self-refresh, deep powerdown); the adaptive ladder catches
+    // ranks mid-demotion with their walk-down timers pending.  An
+    // ILP mix idles almost everything, so the cut is guaranteed to
+    // find residents.
+    for (const char *policy : {"srslowpd", "deeppd", "ladder"}) {
+        const std::string path =
+            scratch(std::string("deep-") + policy + ".snap");
+        SnapshotMeta m = cutCheckedRun(snapConfig("ILP1"), policy,
+                                       msToTick(0.07), path);
+        EXPECT_GT(m.ranksPoweredDown, 0u) << policy;
+        expectCleanResume(snapConfig("ILP1"), policy, path);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(SnapshotChurn, MidMigration)
+{
+    // Consolidation on: the snapshot must capture the hot-frame
+    // counter cache, the remap permutation, the round-robin cursors,
+    // and the pending EvMemMigrate pass — and the resumed run must
+    // keep migrating bit-identically.
+    SystemConfig base = snapConfig("MEM4");
+    base.mem.ladder.migrate = true;
+    base.mem.ladder.hotThreshold = 2;
+    base.mem.ladder.migrateInterval = usToTick(20.0);
+
+    SystemConfig fcfg = base;
+    fcfg.protocolCheck = true;
+    RunResult full = runPolicy(fcfg, "memscale-ladder", kRestWatts);
+    // The scenario actually migrates; otherwise this test is hollow.
+    ASSERT_GT(full.counters.migrations, 0u);
+
+    const std::string path = scratch("migration.snap");
+    cutCheckedRun(base, "memscale-ladder", msToTick(0.15), path);
+
+    SystemConfig rcfg = base;
+    rcfg.protocolCheck = true;
+    rcfg.strictCheck = true;
+    rcfg.snapshot.resumePath = path;
+    RunResult resumed =
+        runPolicy(rcfg, "memscale-ladder", kRestWatts);
+    EXPECT_EQ(resumed.protocolViolations, 0u);
+    EXPECT_EQ(hashRunResult(resumed), hashRunResult(full));
+    EXPECT_EQ(resumed.counters.migrations, full.counters.migrations);
+    std::remove(path.c_str());
+}
+
+TEST(ResumeEquivalence, ResumeRejectsMismatchedLadderConfig)
+{
+    // The ladder config shapes every demotion tick and remap
+    // decision; resuming under different thresholds or consolidation
+    // settings would silently diverge, so the meta fingerprint must
+    // refuse each field loudly.
+    const std::string path = scratch("ladder-mismatch.snap");
+    SystemConfig cfg = snapConfig("MID3");
+    cfg.mem.ladder.migrate = true;
+    cfg.snapshot.at = msToTick(0.1);
+    cfg.snapshot.stopAfter = true;
+    cfg.snapshot.out = path;
+    runPolicy(cfg, "ladder", kRestWatts);
+
+    auto resume = [&](SystemConfig rcfg) {
+        rcfg.snapshot = {};
+        rcfg.snapshot.resumePath = path;
+        return fatalMessage(
+            [&] { runPolicy(rcfg, "ladder", kRestWatts); });
+    };
+
+    SystemConfig same = snapConfig("MID3");
+    same.mem.ladder.migrate = true;
+    EXPECT_EQ(resume(same), "");
+
+    SystemConfig thresholds = same;
+    thresholds.mem.ladder.demoteDeepPd *= 2;
+    std::string msg = resume(thresholds);
+    EXPECT_NE(msg.find("ladder.demoteDeepPd"), std::string::npos)
+        << msg;
+
+    SystemConfig consolidation = snapConfig("MID3");  // migrate off
+    msg = resume(consolidation);
+    EXPECT_NE(msg.find("ladder.migrate"), std::string::npos) << msg;
+
+    SystemConfig hot = same;
+    hot.mem.ladder.hotRanks = 2;
+    msg = resume(hot);
+    EXPECT_NE(msg.find("ladder.hotRanks"), std::string::npos) << msg;
+
+    SystemConfig interval = same;
+    interval.mem.ladder.migrateInterval *= 2;
+    msg = resume(interval);
+    EXPECT_NE(msg.find("ladder.migrateInterval"), std::string::npos)
+        << msg;
+
+    std::remove(path.c_str());
+}
