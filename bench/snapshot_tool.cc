@@ -27,6 +27,8 @@
 
 #include "bench_common.hh"
 
+#include "harness/cluster.hh"
+
 using namespace memscale;
 
 int
@@ -40,6 +42,21 @@ main(int argc, char **argv)
 
     const std::string meta_path = conf.getString("meta", "");
     if (!meta_path.empty()) {
+        // Fleet snapshots carry a "cluster" section on top of the
+        // per-server files; print its summary and stop.
+        FleetMeta fm = readFleetMeta(meta_path);
+        if (fm.valid) {
+            std::printf("cluster 1\nservers %u\npolicy %s\n",
+                        fm.numServers, fm.policy.c_str());
+            std::printf("cap_w %.3f\ncoord_epoch %" PRIu64 "\n",
+                        fm.capW, fm.coordEpoch);
+            std::printf("epochs_done %u\n", fm.epochsDone);
+            for (std::size_t k = 0; k < fm.budgetW.size(); ++k)
+                std::printf("budget_w server%zu %.3f\n", k,
+                            fm.budgetW[k]);
+            std::printf("last_fleet_w %.3f\n", fm.lastFleetW);
+            return 0;
+        }
         SnapshotMeta m = readSnapshotMeta(meta_path);
         std::printf("mix %s\npolicy %s\nnow %" PRIu64 "\n",
                     m.mixName.c_str(), m.policyName.c_str(), m.now);

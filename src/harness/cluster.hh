@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Fleet simulator: N server instances under a shared rack/PDU power
+ * budget, coordinated by a FastCap-style budget divider.
+ *
+ * Each server is a full System with its own open-loop serving front
+ * end, seeded independently via splitmix64 stream derivation
+ * (deriveSeed(fleetSeed, k) depends only on the server index, so
+ * server k's stream never changes when the fleet grows).  Time
+ * advances in lockstep coordination epochs over the PR 5 checkpoint
+ * chain: every epoch each server runs one shard (resume previous cut,
+ * checkpoint at the next boundary) fanned out across the SweepEngine,
+ * then the Coordinator divides the fleet budget for the *next* epoch
+ * from the telemetry the shards just reported — stale by exactly one
+ * epoch, as a real out-of-band controller would see it.
+ *
+ * Fleets cut and resume bit-identically: a fleet snapshot is a
+ * container with a "cluster" section (config fingerprint, epoch
+ * cursor, telemetry, per-epoch power rows) next to one ordinary
+ * per-server snapshot file per server (`<out>.server<k>`).
+ */
+
+#ifndef MEMSCALE_HARNESS_CLUSTER_HH
+#define MEMSCALE_HARNESS_CLUSTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/system.hh"
+
+namespace memscale
+{
+
+class StatRegistry;
+
+/** What one server reports to the coordinator after an epoch. */
+struct ServerTelemetry
+{
+    bool valid = false;
+    /** Measured average power over the epoch, W (ground truth). */
+    Watts measuredW = 0.0;
+    /** Policy-predicted uncapped power demand, W. */
+    Watts demandW = 0.0;
+    /** Policy-predicted power floor (min-power operating point), W. */
+    Watts minW = 0.0;
+    /** Policy-predicted slowdown at the chosen operating point. */
+    double slowdown = 1.0;
+};
+
+/** One coordination epoch's budget split. */
+struct BudgetAllocation
+{
+    std::vector<Watts> budgetW;
+    /** False when even the sum of power floors exceeds the cap. */
+    bool feasible = true;
+    /** Granted fraction of each server's (demand - min) span. */
+    double theta = 1.0;
+};
+
+/**
+ * Divide `capW` across servers: weighted water-fill on the fraction
+ * of each server's (demand - min) span.  Pure and deterministic; the
+ * property tests fuzz it directly.  Invariants: sum(budget) <= cap;
+ * work-conserving (either every server gets its full demand or the
+ * cap is exhausted up to bisection epsilon); budget_k >= min_k
+ * whenever sum(min) <= cap.  Weights are per-server fairness shares
+ * (empty = equal); servers with larger weights reach their demand
+ * first as the budget loosens.
+ */
+BudgetAllocation
+allocateFleetBudget(Watts capW,
+                    const std::vector<ServerTelemetry> &telemetry,
+                    const std::vector<double> &weights);
+
+/** Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = equal. */
+double jainIndex(const std::vector<double> &x);
+
+/** Fleet-level configuration. */
+struct ClusterConfig
+{
+    std::uint32_t numServers = 4;
+
+    /**
+     * Per-server template.  serving.enabled must be set; seed is the
+     * fleet base seed (server k runs deriveSeed(seed, k)); restWatts
+     * must already be calibrated (the harness never runs baselines).
+     * Leave serving.arrival.seed at 0 so each server derives its own
+     * arrival stream.
+     */
+    SystemConfig server;
+
+    /** Per-server policy name ("fastcap" for coordinated capping). */
+    std::string policy = "fastcap";
+
+    /** Fleet power cap, W (0 = uncoordinated: no budgets applied). */
+    Watts capW = 0.0;
+
+    /** Coordination epoch; must be >= server.epochLen. */
+    Tick coordEpoch = msToTick(0.25);
+
+    /** Fairness weights, cycled over servers (empty = equal). */
+    std::vector<double> weights;
+
+    /** Arrival-rate multipliers, cycled (heterogeneous load). */
+    std::vector<double> rateScale;
+
+    /** Demand-mix override per server, cycled (empty = template's). */
+    std::vector<DemandMix> demandMix;
+
+    /** Scratch directory for the per-server checkpoint chains. */
+    std::string scratchDir;
+
+    /** Sweep parallelism across servers (0 = hardware default). */
+    unsigned jobs = 1;
+
+    /** Fleet-level cut/resume (counts whole coordination epochs). */
+    struct FleetSnapshotOptions
+    {
+        /** Cut after this many completed epochs (0 = off). */
+        std::uint32_t atEpoch = 0;
+        bool stopAfter = false;
+        std::string out;
+        std::string resumePath;
+    } snapshot;
+};
+
+/** One coordination epoch's fleet-wide power accounting. */
+struct FleetEpochRow
+{
+    std::uint32_t epoch = 0;
+    Tick start = 0;
+    Tick end = 0;
+    std::vector<Watts> budgetW;    ///< empty when uncoordinated
+    std::vector<Watts> measuredW;
+    Watts fleetW = 0.0;            ///< sum of measured
+    Watts fleetBudgetW = 0.0;      ///< sum of budgets
+    bool capMet = true;            ///< fleetW <= capW (or no cap)
+    bool allocFeasible = true;
+};
+
+/** Fleet run outcome. */
+struct FleetResult
+{
+    std::vector<RunResult> servers;
+    std::vector<FleetEpochRow> epochs;
+    /** Order-sensitive combination of per-server result hashes. */
+    std::uint64_t fleetHash = 0;
+    Joules fleetEnergyJ = 0.0;
+    Watts peakEpochW = 0.0;
+    /** Epochs whose measured fleet power exceeded the cap. */
+    std::uint32_t capViolations = 0;
+    /** Fraction of servers with p99 <= serving.sloP99Us (if set). */
+    double sloAttainment = 0.0;
+    /** Jain's index over per-server predicted slowdown (fastcap). */
+    double jainSlowdown = 1.0;
+    bool stoppedAtCheckpoint = false;
+    std::string fleetSnapshotPath;
+};
+
+/** Fleet snapshot summary (snapshot_tool `meta=` on a fleet file). */
+struct FleetMeta
+{
+    bool valid = false;
+    std::uint32_t numServers = 0;
+    std::string policy;
+    Watts capW = 0.0;
+    Tick coordEpoch = 0;
+    std::uint32_t epochsDone = 0;
+    std::vector<Watts> budgetW;   ///< last epoch's budgets
+    Watts lastFleetW = 0.0;
+};
+
+/** Read the "cluster" section summary; valid=false if absent. */
+FleetMeta readFleetMeta(const std::string &path);
+
+class ClusterHarness
+{
+  public:
+    explicit ClusterHarness(const ClusterConfig &cfg);
+
+    /**
+     * Per-server + fleet gauges under `server<k>.` / `fleet.`
+     * prefixes.  Register before run(); values track the most recent
+     * coordination epoch.
+     */
+    void registerStats(StatRegistry &reg);
+
+    FleetResult run();
+
+    /** The derived per-server config (exposed for tests). */
+    SystemConfig serverConfig(std::uint32_t k) const;
+
+  private:
+    ClusterConfig cfg_;
+
+    // Live obs gauges, updated once per coordination epoch.
+    std::vector<double> obsBudgetW_;
+    std::vector<double> obsPowerW_;
+    std::vector<double> obsP99Us_;
+    std::vector<double> obsSlowdown_;
+    double obsFleetW_ = 0.0;
+    double obsEpoch_ = 0.0;
+};
+
+} // namespace memscale
+
+#endif // MEMSCALE_HARNESS_CLUSTER_HH

@@ -12,6 +12,80 @@
 namespace memscale
 {
 
+const char *
+demandMixName(DemandMix mix)
+{
+    switch (mix) {
+      case DemandMix::Geometric:
+        return "geometric";
+      case DemandMix::Fixed:
+        return "fixed";
+      case DemandMix::LogNormal:
+        return "lognormal";
+      case DemandMix::TwoClass:
+        return "twoclass";
+    }
+    return "?";
+}
+
+DemandMix
+parseDemandMix(const std::string &name)
+{
+    if (name == "geometric")
+        return DemandMix::Geometric;
+    if (name == "fixed")
+        return DemandMix::Fixed;
+    if (name == "lognormal")
+        return DemandMix::LogNormal;
+    if (name == "twoclass")
+        return DemandMix::TwoClass;
+    fatal("unknown demand mix '%s' (geometric|fixed|lognormal|"
+          "twoclass)",
+          name.c_str());
+}
+
+std::uint64_t
+drawServingDemand(const ServingOptions &opts, Rng &rng)
+{
+    const double mean = opts.missesPerRequest;
+    DemandMix mix =
+        opts.fixedDemand ? DemandMix::Fixed : opts.demandMix;
+    switch (mix) {
+      case DemandMix::Fixed:
+        return std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(mean)));
+      case DemandMix::Geometric:
+        return rng.geometric(1.0 / mean);
+      case DemandMix::LogNormal: {
+        // Box-Muller from two uniforms; mu chosen so the arithmetic
+        // mean stays missesPerRequest regardless of sigma.
+        double u1 = 1.0 - rng.uniform();   // (0, 1]
+        double u2 = rng.uniform();
+        const double z = std::sqrt(-2.0 * std::log(u1)) *
+                         std::cos(2.0 * M_PI * u2);
+        const double sigma = opts.demandSigma;
+        const double mu = std::log(mean) - 0.5 * sigma * sigma;
+        const double x = std::exp(mu + sigma * z);
+        return std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(x)));
+      }
+      case DemandMix::TwoClass: {
+        // Class means solve (1-p)*light + p*mult*light = mean, so
+        // the blend keeps the configured mean; each class spreads
+        // geometrically around its own mean.
+        const double p = opts.heavyFraction;
+        const double m = opts.heavyMultiplier;
+        const bool heavy = rng.chance(p);
+        double class_mean =
+            mean / (1.0 - p + p * m) * (heavy ? m : 1.0);
+        class_mean = std::max(class_mean, 1.0);
+        return rng.geometric(1.0 / class_mean);
+      }
+    }
+    fatal("drawServingDemand: bad mix %u",
+          static_cast<unsigned>(mix));
+}
+
 // ---------------------------------------------------------------------------
 // ServingWorker
 // ---------------------------------------------------------------------------
@@ -162,6 +236,22 @@ ServingFrontEnd::ServingFrontEnd(EventQueue &eq, MemoryController &mc,
               opts_.missesPerRequest);
     if (opts_.horizon == 0)
         fatal("ServingFrontEnd: zero horizon");
+    if (opts_.demandMix == DemandMix::LogNormal &&
+        !(opts_.demandSigma > 0.0))
+        fatal("ServingFrontEnd: lognormal demand needs sigma > 0, "
+              "got %g",
+              opts_.demandSigma);
+    if (opts_.demandMix == DemandMix::TwoClass) {
+        if (!(opts_.heavyFraction > 0.0) ||
+            !(opts_.heavyFraction < 1.0))
+            fatal("ServingFrontEnd: two-class heavy fraction %g must "
+                  "be in (0,1)",
+                  opts_.heavyFraction);
+        if (!(opts_.heavyMultiplier >= 1.0))
+            fatal("ServingFrontEnd: two-class heavy multiplier %g "
+                  "must be >= 1",
+                  opts_.heavyMultiplier);
+    }
     const std::uint64_t region =
         mc_.config().totalBytes() / num_workers;
     const std::uint64_t lines = region / mc_.config().lineBytes;
@@ -200,13 +290,7 @@ ServingFrontEnd::scheduleNextArrival()
 std::uint64_t
 ServingFrontEnd::drawDemand()
 {
-    if (opts_.fixedDemand) {
-        return std::max<std::uint64_t>(
-            1, static_cast<std::uint64_t>(
-                   std::llround(opts_.missesPerRequest)));
-    }
-    // Geometric with mean missesPerRequest (support >= 1).
-    return demandRng_.geometric(1.0 / opts_.missesPerRequest);
+    return drawServingDemand(opts_, demandRng_);
 }
 
 void
@@ -368,6 +452,10 @@ ServingFrontEnd::saveState(SectionWriter &w) const
     w.f64(opts_.arrival.diurnalDepth);
     w.f64(opts_.missesPerRequest);
     w.b(opts_.fixedDemand);
+    w.u8(static_cast<std::uint8_t>(opts_.demandMix));
+    w.f64(opts_.demandSigma);
+    w.f64(opts_.heavyFraction);
+    w.f64(opts_.heavyMultiplier);
     w.u32(opts_.instrPerMiss);
     w.f64(opts_.computeCpi);
     w.u64(opts_.horizon);
@@ -444,6 +532,15 @@ ServingFrontEnd::restoreState(SectionReader &r)
         fatal("serving resume: snapshot fixedDemand %d does not "
               "match run %d",
               fixed ? 1 : 0, opts_.fixedDemand ? 1 : 0);
+    const std::uint8_t mix = r.u8();
+    if (mix != static_cast<std::uint8_t>(opts_.demandMix))
+        fatal("serving resume: snapshot demand mix %s does not match "
+              "run %s",
+              demandMixName(static_cast<DemandMix>(mix)),
+              demandMixName(opts_.demandMix));
+    want_f64("demand sigma", opts_.demandSigma);
+    want_f64("heavy fraction", opts_.heavyFraction);
+    want_f64("heavy multiplier", opts_.heavyMultiplier);
     const std::uint32_t ipm = r.u32();
     if (ipm != opts_.instrPerMiss)
         fatal("serving resume: snapshot instrPerMiss %u does not "

@@ -46,6 +46,23 @@ class SectionReader;
 class SectionWriter;
 class StatRegistry;
 
+/**
+ * Request service-demand distribution.  All mixes share the same mean
+ * (`missesPerRequest`), so switching the shape never changes the
+ * offered *work*, only how it is bundled into requests — the knob
+ * that matters for tail latency and for heterogeneous fleet load.
+ */
+enum class DemandMix : std::uint8_t
+{
+    Geometric = 0,  ///< memoryless around the mean (the default)
+    Fixed = 1,      ///< every request exactly round(missesPerRequest)
+    LogNormal = 2,  ///< multiplicative spread, demandSigma of ln
+    TwoClass = 3,   ///< bimodal: rare heavy requests among light ones
+};
+
+const char *demandMixName(DemandMix mix);
+DemandMix parseDemandMix(const std::string &name);
+
 /** Open-loop serving configuration (SystemConfig::serving). */
 struct ServingOptions
 {
@@ -62,6 +79,18 @@ struct ServingOptions
      */
     double missesPerRequest = 8.0;
     bool fixedDemand = false;
+
+    /**
+     * Demand-distribution shape.  `fixedDemand` predates the enum and
+     * wins when set (it maps to DemandMix::Fixed).
+     */
+    DemandMix demandMix = DemandMix::Geometric;
+    /** LogNormal: standard deviation of ln(demand). */
+    double demandSigma = 0.75;
+    /** TwoClass: fraction of requests in the heavy class. */
+    double heavyFraction = 0.05;
+    /** TwoClass: heavy-class mean as a multiple of the light mean. */
+    double heavyMultiplier = 8.0;
 
     /** Instructions retired in the compute segment before each miss. */
     std::uint32_t instrPerMiss = 200;
@@ -106,6 +135,14 @@ struct ServingStats
     std::uint64_t histOverflow = 0;
 };
 
+/**
+ * Draw one request's service demand (LLC misses, >= 1) from the
+ * configured mix.  Exposed as a free function so the distribution
+ * tests can sample it directly; the front end draws through the same
+ * path with its dedicated demand Rng.
+ */
+std::uint64_t drawServingDemand(const ServingOptions &opts, Rng &rng);
+
 class ServingFrontEnd;
 
 /**
@@ -134,6 +171,22 @@ class ServingWorker final : public MemClient, public CpuSampler
     CoreId id() const { return id_; }
     bool busy() const { return busy_; }
     Tick busyTime() const { return busyTime_; }
+
+    /**
+     * Busy time including the in-flight request's partial service up
+     * to `now` (busyTime() only accrues at completion).  The CPU
+     * power model integrates this across intervals, so a worker busy
+     * through an epoch boundary is charged in the right interval.
+     */
+    Tick
+    busyAsOf(Tick now) const
+    {
+        Tick t = busyTime_;
+        if (busy_ && now > busyStart_)
+            t += now - busyStart_;
+        return t;
+    }
+
     std::uint64_t served() const { return served_; }
 
     /** Start serving a request that arrived at `arrival`. */

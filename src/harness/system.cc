@@ -118,6 +118,7 @@ SystemConfig::policyContext() const
     ctx.epochLen = epochLen;
     ctx.profileLen = profileLen;
     ctx.sloP99Us = serving.sloP99Us;
+    ctx.powerCapW = powerCapW;
     return ctx;
 }
 
@@ -151,9 +152,6 @@ System::run()
 {
     const bool resuming = !cfg_.snapshot.resumePath.empty();
     const bool serving_mode = cfg_.serving.enabled;
-    if (serving_mode && cfg_.modelCpuPower)
-        fatal("serving: modelCpuPower is a closed-loop extension "
-              "(no per-core stall accounting for serving workers)");
     EventQueue eq(cfg_.kernelMode);
     MemoryController mc(eq, cfg_.mem);
     PolicyContext ctx = cfg_.policyContext();
@@ -213,9 +211,13 @@ System::run()
     IntervalActivity last = mc.sampleActivity();
     Tick last_sample = eq.now();
     // CPU-energy bookkeeping (coordinated-DVFS extension); filled in
-    // below once the cores exist.
+    // below once the cores (or serving workers) exist.  Closed-loop
+    // cores charge busy = active minus stall; serving workers expose
+    // request-service busy time directly, so `last_stall` doubles as
+    // the per-worker busy baseline there.
     std::vector<Core *> cpu_cores;
     std::vector<Tick> last_stall;
+    ServingFrontEnd *fe_raw = nullptr;
     auto close_interval = [&] {
         IntervalActivity cur = mc.sampleActivity();
         IntervalActivity d = cur;
@@ -247,6 +249,24 @@ System::run()
                     double busy = static_cast<double>(busy_t) /
                                   static_cast<double>(d.dt);
                     cpu_e += cfg_.power.cpuCorePower(ghz, busy) *
+                             dt_sec;
+                }
+                integrator.addCpuEnergy(cpu_e);
+            } else if (cfg_.modelCpuPower && fe_raw) {
+                const double dt_sec = tickToSec(d.dt);
+                Joules cpu_e = 0.0;
+                for (std::size_t i = 0; i < fe_raw->numWorkers();
+                     ++i) {
+                    const ServingWorker &wk = fe_raw->worker(i);
+                    const Tick b = wk.busyAsOf(eq.now());
+                    const Tick db =
+                        b > last_stall[i] ? b - last_stall[i] : 0;
+                    last_stall[i] = b;
+                    const double busy = std::min(
+                        1.0, static_cast<double>(db) /
+                                 static_cast<double>(d.dt));
+                    cpu_e += cfg_.power.cpuCorePower(
+                                 wk.frequencyGHz(), busy) *
                              dt_sec;
                 }
                 integrator.addCpuEnergy(cpu_e);
@@ -287,6 +307,7 @@ System::run()
         fe = std::make_unique<ServingFrontEnd>(
             eq, mc, cfg_.serving, cfg_.numCores, cfg_.cpuGHz,
             cfg_.seed);
+        fe_raw = fe.get();
         if (registry)
             fe->registerStats(*registry, "serving");
         policy_.attachTailProbe(
@@ -341,7 +362,9 @@ System::run()
     }
     if (cfg_.modelCpuPower) {
         cpu_cores = core_ptrs;
-        last_stall.assign(core_ptrs.size(), 0);
+        last_stall.assign(serving_mode ? cfg_.numCores
+                                       : core_ptrs.size(),
+                          0);
     }
 
     if (recorder) {

@@ -53,6 +53,15 @@ struct SystemConfig
     /** Memory subsystem share of server power at the baseline. */
     double memPowerFraction = 0.40;
 
+    /**
+     * Server power budget in Watts handed to cap-aware policies
+     * (fastcap); 0 means uncapped.  A runtime knob like threads or
+     * jobs: the cluster coordinator re-assigns it every coordination
+     * epoch, so it is deliberately NOT part of the snapshot
+     * fingerprint — a resumed shard may carry a different budget.
+     */
+    Watts powerCapW = 0.0;
+
     std::uint64_t seed = 12345;
 
     /**

@@ -38,6 +38,13 @@ struct PolicyContext
      * tail latency entirely.
      */
     double sloP99Us = 0.0;
+
+    /**
+     * Server power budget in Watts (0 = uncapped).  Only cap-aware
+     * policies (fastcap) read it; under a fleet coordinator it is
+     * re-assigned every coordination epoch.
+     */
+    Watts powerCapW = 0.0;
 };
 
 /** Prediction for one candidate frequency. */

@@ -3,6 +3,7 @@
 #include "common/log.hh"
 #include "memscale/policies/coscale_policy.hh"
 #include "memscale/policies/decoupled_policy.hh"
+#include "memscale/policies/fastcap_policy.hh"
 #include "memscale/policies/memscale_policy.hh"
 #include "memscale/policies/perchannel_policy.hh"
 #include "memscale/policies/powerdown_policy.hh"
@@ -70,6 +71,8 @@ makePolicy(const std::string &name)
         return std::make_unique<PerChannelMemScalePolicy>();
     if (name == "coscale")
         return std::make_unique<CoScalePolicy>();
+    if (name == "fastcap")
+        return std::make_unique<FastCapPolicy>();
     if (name == "slo")
         return std::make_unique<SloPolicy>();
     fatal("unknown policy '%s'", name.c_str());

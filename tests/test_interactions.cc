@@ -204,3 +204,101 @@ TEST(Interaction, WriteHeavyStorm)
     EXPECT_EQ(h.mc.pending(), 0u);
     EXPECT_EQ(h.mc.sampleCounters().writes, 2000u);
 }
+
+// ---------------------------------------------------------------------
+// Serving x deep-idle ladder x page migration, STRICT-checked: the
+// open-loop front end drives real traffic through a controller whose
+// ranks walk the demotion ladder and whose migrator swaps frames
+// behind the remap — the three features with the most historically
+// conflicting state machines.  The strict checker turns the first
+// illegal DDR3 command into a FatalError, so a pass means the whole
+// fuzzed matrix replayed protocol-clean.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Seed-fuzzed but always-sane ladder + migration mem config. */
+MemConfig
+servingLadderConfig(Rng &rng)
+{
+    MemConfig cfg;
+    Tick dwell = nsToTick(50.0 + double(rng.next() % 1500));
+    cfg.ladder.demoteSlowPd = dwell;
+    dwell += nsToTick(50.0 + double(rng.next() % 1500));
+    cfg.ladder.demoteSelfRefresh = dwell;
+    dwell += nsToTick(50.0 + double(rng.next() % 1500));
+    cfg.ladder.demoteSrSlow = dwell;
+    dwell += nsToTick(50.0 + double(rng.next() % 1500));
+    cfg.ladder.demoteDeepPd = dwell;
+    cfg.ladder.migrate = true;
+    cfg.ladder.hotRanks =
+        1 + static_cast<std::uint32_t>(
+                rng.next() % (cfg.ranksPerChannel() - 1));
+    cfg.ladder.migrateInterval =
+        usToTick(2.0 + double(rng.next() % 20));
+    cfg.ladder.maxSwapsPerInterval =
+        1 + static_cast<std::uint32_t>(rng.next() % 8);
+    cfg.ladder.hotThreshold =
+        2 + static_cast<std::uint32_t>(rng.next() % 7);
+    return cfg;
+}
+
+} // namespace
+
+TEST(Interaction, ServingLadderMigrationStrictMatrix)
+{
+    // 6 fuzzed episodes cycling arrival processes and demand mixes;
+    // rates low enough that idle gaps let ranks demote all the way
+    // down while requests keep arriving and frames keep migrating.
+    const ArrivalKind kinds[] = {ArrivalKind::Poisson,
+                                 ArrivalKind::Bursty,
+                                 ArrivalKind::Diurnal};
+    const DemandMix mixes[] = {DemandMix::Geometric,
+                               DemandMix::LogNormal,
+                               DemandMix::TwoClass};
+    std::uint64_t demotions = 0;
+    std::uint64_t swaps = 0;
+    for (std::uint64_t ep = 0; ep < 6; ++ep) {
+        Rng rng(deriveSeed(0x5EAF00D, ep));
+        SystemConfig cfg;
+        cfg.mixName = "OPENLOOP-LADDER";
+        cfg.numCores = 4;
+        cfg.epochLen = msToTick(0.1);
+        cfg.profileLen = usToTick(10.0);
+        cfg.seed = 1000 + ep;
+        cfg.mem = servingLadderConfig(rng);
+        cfg.protocolCheck = true;
+        cfg.strictCheck = true;
+        cfg.serving.enabled = true;
+        cfg.serving.arrival.kind = kinds[ep % 3];
+        cfg.serving.arrival.ratePerSec =
+            0.1e6 * (1.0 + double(rng.next() % 4));
+        cfg.serving.demandMix = mixes[ep % 3];
+        cfg.serving.horizon = msToTick(0.5);
+
+        auto policy = makePolicy("memscale-ladder");
+        System sys(cfg, *policy);
+        RunResult r;
+        ASSERT_NO_THROW(r = sys.run()) << "episode " << ep;
+
+        EXPECT_GT(r.commandsChecked, 0u) << "episode " << ep;
+        EXPECT_EQ(r.protocolViolations, 0u)
+            << "episode " << ep << ": "
+            << (r.protocolViolationSamples.empty()
+                    ? ""
+                    : r.protocolViolationSamples.front());
+        EXPECT_TRUE(r.serving.valid);
+        EXPECT_EQ(r.serving.arrived,
+                  r.serving.completed + r.serving.dropped +
+                      r.serving.queuedAtEnd +
+                      r.serving.inServiceAtEnd)
+            << "episode " << ep;
+        demotions += r.counters.pdDemotions;
+        swaps += r.counters.migrations;
+    }
+    // The matrix must actually exercise both machines, not merely
+    // survive them.
+    EXPECT_GT(demotions, 0u);
+    EXPECT_GT(swaps, 0u);
+}

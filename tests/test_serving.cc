@@ -186,15 +186,64 @@ TEST(Serving, ObservabilityRecordsServingColumns)
     EXPECT_TRUE(has("policy.lastP99Us"));
 }
 
-TEST(Serving, ServingIncompatibleWithCpuPowerModel)
+TEST(Serving, CpuPowerModelChargesWorkers)
 {
+    // Serving + explicit CPU power (the coordinated-DVFS extension):
+    // each ServingWorker is charged active power for its busy
+    // fraction and leakage otherwise, so cpu energy is positive but
+    // bounded by every core running flat out for the whole horizon.
     SystemConfig cfg = serveConfig();
     cfg.modelCpuPower = true;
-    auto policy = makePolicy("baseline");
-    EXPECT_THROW(
-        {
-            System sys(cfg, *policy);
-            sys.run();
-        },
-        FatalError);
+    Watts rest = 0.0;
+    RunResult r = runBaseline(cfg, rest);
+
+    expectConservation(r.serving);
+    EXPECT_GT(r.energy.cpu, 0.0);
+    const double horizon_sec = tickToSec(cfg.serving.horizon);
+    const Watts flat_out =
+        cfg.power.cpuCorePower(cfg.power.cpuNominalGHz, 1.0);
+    EXPECT_LT(r.energy.cpu,
+              cfg.numCores * flat_out * horizon_sec * (1.0 + 1e-9));
+    // At 0.5 Mreq/s the workers are mostly idle, so the charged
+    // energy sits well below the flat-out bound too.
+    EXPECT_LT(r.energy.cpu,
+              0.5 * cfg.numCores * flat_out * horizon_sec);
+
+    // The modelled-CPU run remains behaviourally identical: only the
+    // energy accounting moves (out of rest, into cpu).
+    SystemConfig plain = serveConfig();
+    Watts rest2 = 0.0;
+    RunResult p = runBaseline(plain, rest2);
+    EXPECT_EQ(p.serving.completed, r.serving.completed);
+    EXPECT_DOUBLE_EQ(p.serving.p99Us, r.serving.p99Us);
+    EXPECT_DOUBLE_EQ(r.energy.dram(), p.energy.dram());
+}
+
+TEST(Serving, DemandMixesServeEndToEnd)
+{
+    // The demand shape only rebundles work into requests: the same
+    // offered load must conserve requests under every mix, and the
+    // heavier-tailed shapes pay for it in tail latency.
+    auto run_mix = [&](DemandMix mix) {
+        SystemConfig cfg = serveConfig();
+        cfg.serving.demandMix = mix;
+        Watts rest = 0.0;
+        RunResult r = runBaseline(cfg, rest);
+        expectConservation(r.serving);
+        EXPECT_GT(r.serving.completed, 0u) << demandMixName(mix);
+        return r;
+    };
+
+    RunResult geo = run_mix(DemandMix::Geometric);
+    RunResult logn = run_mix(DemandMix::LogNormal);
+    RunResult two = run_mix(DemandMix::TwoClass);
+
+    // Same arrival stream in all three runs (the demand Rng is a
+    // separate derived stream), so arrivals match exactly.
+    EXPECT_EQ(logn.serving.arrived, geo.serving.arrived);
+    EXPECT_EQ(two.serving.arrived, geo.serving.arrived);
+    // The rare ~6x-mean heavy requests of the two-class mix stretch
+    // the extreme tail beyond the memoryless shape's.
+    EXPECT_GT(two.serving.p999Us, geo.serving.p999Us);
+    EXPECT_GT(two.serving.maxUs, geo.serving.maxUs);
 }
